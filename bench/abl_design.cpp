@@ -1,0 +1,78 @@
+// Ablations of IRS design choices called out in DESIGN.md:
+//  * the Fig. 4 wake-up fix (tagged-task preemption) on/off,
+//  * the migrator's target policy (Algorithm 2 idle-first vs. variants),
+//  * idle housekeeping (how quickly vacated vCPUs are refilled).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace irs;
+
+exp::RunResult run_with(const std::string& app,
+                        const guest::GuestConfig& gc, int n_inter,
+                        core::Strategy strategy) {
+  bench::PanelOptions o;
+  exp::ScenarioConfig cfg = bench::make_cfg(app, strategy, n_inter, o);
+  cfg.fg_guest = gc;
+  return exp::run_averaged(cfg, exp::bench_seeds());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> apps = {"streamcluster", "fluidanimate",
+                                         "UA"};
+
+  exp::banner(std::cout, "Ablation: IRS wake-up fix (Fig. 4) on/off");
+  exp::Table wf({"app", "baseline", "IRS (fix on)", "IRS (fix off)"});
+  for (const auto& app : apps) {
+    guest::GuestConfig on;
+    guest::GuestConfig off;
+    off.irs_wakeup_fix = false;
+    const auto base =
+        run_with(app, on, 1, core::Strategy::kBaseline);
+    const auto fix_on = run_with(app, on, 1, core::Strategy::kIrs);
+    const auto fix_off = run_with(app, off, 1, core::Strategy::kIrs);
+    wf.add_row({app, exp::fmt_ms(base.fg_makespan),
+                exp::fmt_pct(exp::improvement_pct(base, fix_on)),
+                exp::fmt_pct(exp::improvement_pct(base, fix_off))});
+  }
+  wf.print(std::cout);
+
+  exp::banner(std::cout, "Ablation: migrator target policy (Algorithm 2)");
+  exp::Table mp({"app", "idle-then-least (paper)", "least-loaded only",
+                 "first-running"});
+  for (const auto& app : apps) {
+    guest::GuestConfig gc;
+    const auto base = run_with(app, gc, 1, core::Strategy::kBaseline);
+    std::vector<std::string> row = {app};
+    for (const auto pol :
+         {guest::MigratorPolicy::kIdleThenLeastLoaded,
+          guest::MigratorPolicy::kLeastLoadedOnly,
+          guest::MigratorPolicy::kFirstRunning}) {
+      gc.migrator_policy = pol;
+      const auto r = run_with(app, gc, 1, core::Strategy::kIrs);
+      row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
+    }
+    mp.add_row(std::move(row));
+  }
+  mp.print(std::cout);
+
+  exp::banner(std::cout, "Ablation: idle housekeeping period");
+  exp::Table ip({"app", "4ms", "10ms (default)", "30ms", "off"});
+  for (const auto& app : apps) {
+    guest::GuestConfig gc;
+    const auto base = run_with(app, gc, 1, core::Strategy::kBaseline);
+    std::vector<std::string> row = {app};
+    for (const long ms : {4L, 10L, 30L, 0L}) {
+      gc.idle_poll_period = sim::milliseconds(ms);
+      const auto r = run_with(app, gc, 1, core::Strategy::kIrs);
+      row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
+    }
+    ip.add_row(std::move(row));
+  }
+  ip.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension strategies beyond the paper's evaluation:
+//  * Delay-Preempt — the Uhlig-style lock-holder preemption-avoidance
+//    baseline the paper discusses in §2.2 (guest hints, hypervisor defers
+//    preemption of lock holders up to a hard cap);
+//  * IRS-Pull — the paper's §6 future-work proposal: purely pull-based
+//    rescue of "running" tasks from preempted vCPUs when a guest CPU
+//    idles, with no scheduler activations at all.
+//
+// Expected shape: IRS-Pull tracks IRS for blocking workloads (idle CPUs
+// exist to do the pulling) but does nothing for spinning ones (no CPU ever
+// idles); Delay-Preempt only addresses LHP for lock-heavy apps and caps
+// out quickly because fairness bounds the delay window.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace irs;
+  const int seeds = exp::bench_seeds();
+
+  exp::banner(std::cout,
+              "Extensions: improvement over vanilla Xen/Linux (1-inter)");
+  std::vector<std::string> headers = {"app", "Delay-Preempt", "IRS",
+                                      "IRS-Pull"};
+  exp::Table t(headers);
+  for (const char* app :
+       {"x264", "fluidanimate", "streamcluster", "blackscholes", "UA", "MG",
+        "EP", "raytrace"}) {
+    bench::PanelOptions o;
+    // Longer runs give the delay-preemption window enough preemption-in-CS
+    // coincidences to matter.
+    o.work_scale = 1.0;
+    const exp::RunResult base = exp::run_averaged(
+        bench::make_cfg(app, core::Strategy::kBaseline, 1, o), seeds);
+    std::vector<std::string> row = {app};
+    for (const auto s :
+         {core::Strategy::kDelayPreempt, core::Strategy::kIrs,
+          core::Strategy::kIrsPull}) {
+      const exp::RunResult r =
+          exp::run_averaged(bench::make_cfg(app, s, 1, o), seeds);
+      row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  exp::banner(std::cout, "Extensions at 4-inter (everything contended)");
+  exp::Table t4(headers);
+  for (const char* app : {"x264", "streamcluster", "UA"}) {
+    bench::PanelOptions o;
+    o.work_scale = 1.0;
+    const exp::RunResult base = exp::run_averaged(
+        bench::make_cfg(app, core::Strategy::kBaseline, 4, o), seeds);
+    std::vector<std::string> row = {app};
+    for (const auto s :
+         {core::Strategy::kDelayPreempt, core::Strategy::kIrs,
+          core::Strategy::kIrsPull}) {
+      const exp::RunResult r =
+          exp::run_averaged(bench::make_cfg(app, s, 4, o), seeds);
+      row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
+    }
+    t4.add_row(std::move(row));
+  }
+  t4.print(std::cout);
+  return 0;
+}

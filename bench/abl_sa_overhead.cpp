@@ -1,0 +1,43 @@
+// Ablation / validation of the paper's §3.1 overhead claim: SA processing
+// adds 20-26 us of preemption delay, negligible against 30 ms slices.
+// Also sweeps the hard acknowledgement cap to show the defence against
+// rogue guests costs nothing for well-behaved ones.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace irs;
+  const int seeds = exp::bench_seeds();
+
+  exp::banner(std::cout, "SA processing delay per application (paper: 20-26us)");
+  exp::Table t({"app", "SAs sent", "SAs acked", "avg ack delay",
+                "delay / 30ms slice"});
+  for (const char* app :
+       {"streamcluster", "fluidanimate", "x264", "UA", "MG", "specjbb"}) {
+    bench::PanelOptions o;
+    exp::ScenarioConfig cfg =
+        bench::make_cfg(app, core::Strategy::kIrs, 1, o);
+    const exp::RunResult r = exp::run_averaged(cfg, seeds);
+    t.add_row({app, std::to_string(r.sa_sent), std::to_string(r.sa_acked),
+               exp::fmt_us(r.sa_delay_avg),
+               exp::fmt_f(sim::to_us(r.sa_delay_avg) / 30000.0 * 100.0, 3) +
+                   "%"});
+  }
+  t.print(std::cout);
+
+  exp::banner(std::cout, "SA hard-cap sweep (streamcluster, 1-inter)");
+  exp::Table c({"ack cap", "makespan", "SAs acked", "SAs forced"});
+  for (const long cap_us : {15L, 30L, 100L, 1000L}) {
+    bench::PanelOptions o;
+    exp::ScenarioConfig cfg =
+        bench::make_cfg("streamcluster", core::Strategy::kIrs, 1, o);
+    cfg.hv.sa_ack_cap = sim::microseconds(cap_us);
+    const exp::RunResult r = exp::run_averaged(cfg, seeds);
+    c.add_row({std::to_string(cap_us) + "us", exp::fmt_ms(r.fg_makespan),
+               std::to_string(r.sa_acked),
+               std::to_string(r.sa_sent - r.sa_acked)});
+  }
+  c.print(std::cout);
+  return 0;
+}

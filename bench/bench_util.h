@@ -1,0 +1,115 @@
+// Shared sweep/printing helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates the rows/series of one paper figure. Absolute
+// numbers are simulation-specific; the shapes (who wins, by roughly what
+// factor, where crossovers fall) are what EXPERIMENTS.md compares.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+
+namespace irs::bench {
+
+/// Baseline work scale for benchmark runs (keeps each run fast while
+/// preserving many hv-scheduling periods per run).
+inline constexpr double kWorkScale = 0.5;
+
+struct PanelOptions {
+  std::string bg = "hog";
+  std::vector<int> inter_levels = {1, 2, 4};
+  std::vector<core::Strategy> strategies = {core::Strategy::kPle,
+                                            core::Strategy::kRelaxedCo,
+                                            core::Strategy::kIrs};
+  int n_vcpus = 4;
+  int n_pcpus = 4;
+  int n_bg_vms = 1;
+  bool pinned = true;
+  bool npb_spinning = true;
+  double work_scale = kWorkScale;
+};
+
+inline exp::ScenarioConfig make_cfg(const std::string& app,
+                                    core::Strategy strategy, int n_inter,
+                                    const PanelOptions& o) {
+  exp::ScenarioConfig cfg;
+  cfg.fg = app;
+  cfg.fg_threads = o.n_vcpus;
+  cfg.strategy = strategy;
+  cfg.bg = o.bg;
+  cfg.n_inter = n_inter;
+  cfg.n_bg_vms = o.n_bg_vms;
+  cfg.n_vcpus = o.n_vcpus;
+  cfg.n_pcpus = o.n_pcpus;
+  cfg.pinned = o.pinned;
+  cfg.npb_spinning = o.npb_spinning;
+  cfg.work_scale = o.work_scale;
+  return cfg;
+}
+
+/// One figure panel: performance improvement (%) over vanilla Xen/Linux
+/// for each app x (strategy, inter-level). Mirrors Fig. 5/6/12/13 rows.
+inline void improvement_panel(const std::string& title,
+                              const std::vector<std::string>& apps,
+                              const PanelOptions& o) {
+  exp::banner(std::cout, title);
+  std::vector<std::string> headers = {"app"};
+  for (const int n : o.inter_levels) {
+    for (const auto s : o.strategies) {
+      headers.push_back(std::to_string(n) + "-inter " +
+                        core::strategy_name(s));
+    }
+  }
+  exp::Table table(headers);
+  const int seeds = exp::bench_seeds();
+  for (const auto& app : apps) {
+    std::vector<std::string> row = {app};
+    for (const int n : o.inter_levels) {
+      const exp::RunResult base = exp::run_averaged(
+          make_cfg(app, core::Strategy::kBaseline, n, o), seeds);
+      for (const auto s : o.strategies) {
+        const exp::RunResult r =
+            exp::run_averaged(make_cfg(app, s, n, o), seeds);
+        row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+/// Weighted-speedup panel (Fig. 7/9): fg+bg speedup vs vanilla, percent
+/// (100 = parity).
+inline void weighted_panel(const std::string& title,
+                           const std::vector<std::string>& apps,
+                           const PanelOptions& o) {
+  exp::banner(std::cout, title);
+  std::vector<std::string> headers = {"app"};
+  for (const int n : o.inter_levels) {
+    for (const auto s : o.strategies) {
+      headers.push_back(std::to_string(n) + "-inter " +
+                        core::strategy_name(s));
+    }
+  }
+  exp::Table table(headers);
+  const int seeds = exp::bench_seeds();
+  for (const auto& app : apps) {
+    std::vector<std::string> row = {app};
+    for (const int n : o.inter_levels) {
+      const exp::RunResult base = exp::run_averaged(
+          make_cfg(app, core::Strategy::kBaseline, n, o), seeds);
+      for (const auto s : o.strategies) {
+        const exp::RunResult r =
+            exp::run_averaged(make_cfg(app, s, n, o), seeds);
+        row.push_back(exp::fmt_f(exp::weighted_speedup_pct(base, r), 1) + "%");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace irs::bench

@@ -1,0 +1,44 @@
+// Figure 1 — motivation.
+// (a) Slowdown of parallel programs when one of four vCPUs is interfered:
+//     blocking (fluidanimate) and spinning (UA) suffer; work-stealing
+//     (raytrace) is resilient.
+// (b) Stop-based process-migration latency from a contended vCPU grows by
+//     roughly one scheduling slice per co-located CPU-bound VM
+//     (paper: 1 ms / 26.4 ms / 53.2 ms / 79.8 ms).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/exp/scenarios.h"
+
+int main() {
+  using namespace irs;
+
+  exp::banner(std::cout, "Figure 1(a): slowdown under 1-vCPU interference");
+  exp::Table a({"app", "sync style", "slowdown vs alone"});
+  const int seeds = exp::bench_seeds();
+  struct Row {
+    const char* app;
+    const char* style;
+  };
+  for (const Row& r : {Row{"fluidanimate", "blocking"}, Row{"UA", "spinning"},
+                       Row{"raytrace", "user-level work stealing"}}) {
+    double slow = 0;
+    for (int s = 0; s < seeds; ++s) {
+      slow += exp::fig1a_slowdown(r.app, 33 + 7 * static_cast<unsigned>(s));
+    }
+    a.add_row({r.app, r.style, exp::fmt_f(slow / seeds, 2) + "x"});
+  }
+  a.print(std::cout);
+
+  exp::banner(std::cout,
+              "Figure 1(b): process-migration latency vs co-located VMs");
+  exp::Table b({"co-located VMs", "mean latency", "max latency"});
+  const char* labels[] = {"alone", "1 VM", "2 VMs", "3 VMs"};
+  for (int n = 0; n <= 3; ++n) {
+    const auto r = exp::fig1b_migration_latency(n, 30, 11);
+    b.add_row({labels[n], exp::fmt_f(r.mean_ms, 1) + "ms",
+               exp::fmt_f(r.max_ms, 1) + "ms"});
+  }
+  b.print(std::cout);
+  return 0;
+}

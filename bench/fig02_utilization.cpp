@@ -1,0 +1,43 @@
+// Figure 2 — CPU utilisation relative to fair share under interference.
+// Blocking-sync PARSEC and NPB (OMP_WAIT_POLICY=passive) apps fall well
+// short of their fair share; raytrace's user-level load balancing keeps it
+// near 1.0.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/wl/npb.h"
+#include "src/wl/parsec.h"
+
+int main() {
+  using namespace irs;
+  exp::banner(std::cout,
+              "Figure 2: CPU utilisation relative to fair share "
+              "(1-inter, blocking sync)");
+  exp::Table t({"app", "suite", "util/fair", "useful/fair"});
+  const int seeds = exp::bench_seeds();
+
+  auto run_one = [&](const std::string& app, const char* suite,
+                     bool npb_spinning) {
+    bench::PanelOptions o;
+    o.npb_spinning = npb_spinning;
+    exp::ScenarioConfig cfg =
+        bench::make_cfg(app, core::Strategy::kBaseline, 1, o);
+    const exp::RunResult r = exp::run_averaged(cfg, seeds);
+    return std::vector<std::string>{app, suite,
+                                    exp::fmt_f(r.fg_util_vs_fair, 2),
+                                    exp::fmt_f(r.fg_efficiency, 2)};
+  };
+
+  for (const char* app :
+       {"streamcluster", "canneal", "fluidanimate", "bodytrack", "x264",
+        "facesim", "blackscholes"}) {
+    t.add_row(run_one(app, "PARSEC", false));
+  }
+  // Paper Fig. 2 runs NPB with the passive (blocking) wait policy.
+  for (const char* app : {"BT", "CG", "MG", "FT", "SP", "UA"}) {
+    t.add_row(run_one(app, "NPB", false));
+  }
+  t.add_row(run_one("raytrace", "PARSEC (work-steal)", false));
+  t.print(std::cout);
+  return 0;
+}

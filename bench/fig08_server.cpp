@@ -1,0 +1,52 @@
+// Figure 8 — multi-threaded server workloads under IRS: throughput and
+// latency improvement vs vanilla Xen/Linux with 1-4 CPU hogs.
+// SPECjbb-like: 4 warehouses (1:1 threads:vCPUs); ab-like: 512 connection
+// threads. PLE/Relaxed-Co have little effect on these (little spinning /
+// synchronisation) and are not reported, as in the paper.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace irs;
+  const int seeds = exp::bench_seeds();
+
+  exp::banner(std::cout, "Figure 8(a): server throughput improvement (IRS)");
+  exp::Table thr({"workload", "1-inter", "2-inter", "3-inter", "4-inter"});
+  exp::banner(std::cerr, "(running...)");
+  exp::Table lat({"workload", "metric", "1-inter", "2-inter", "3-inter",
+                  "4-inter"});
+
+  for (const char* app : {"specjbb", "ab"}) {
+    std::vector<std::string> trow = {app};
+    std::vector<std::string> lrow_mean = {app, app == std::string("ab")
+                                                   ? "p99 latency"
+                                                   : "mean latency"};
+    for (int n = 1; n <= 4; ++n) {
+      bench::PanelOptions o;
+      exp::ScenarioConfig base_cfg =
+          bench::make_cfg(app, core::Strategy::kBaseline, n, o);
+      base_cfg.server_duration = sim::seconds(2);
+      exp::ScenarioConfig irs_cfg = base_cfg;
+      irs_cfg.strategy = core::Strategy::kIrs;
+      const exp::RunResult base = exp::run_averaged(base_cfg, seeds);
+      const exp::RunResult irs = exp::run_averaged(irs_cfg, seeds);
+      trow.push_back(
+          exp::fmt_pct(core::gain_pct(base.throughput, irs.throughput)));
+      // The paper reports mean (new-order) latency for SPECjbb and tail
+      // (99th percentile) latency for ab.
+      const double base_lat = static_cast<double>(
+          app == std::string("ab") ? base.lat_p99 : base.lat_mean);
+      const double irs_lat = static_cast<double>(
+          app == std::string("ab") ? irs.lat_p99 : irs.lat_mean);
+      lrow_mean.push_back(
+          exp::fmt_pct(core::improvement_pct(base_lat, irs_lat)));
+    }
+    thr.add_row(std::move(trow));
+    lat.add_row(std::move(lrow_mean));
+  }
+  thr.print(std::cout);
+  exp::banner(std::cout, "Figure 8(b): server latency improvement (IRS)");
+  lat.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "src/core/metrics.h"
+
+// Header-only utilities; this translation unit anchors the target.

@@ -1,0 +1,97 @@
+// Measurement utilities: latency histograms and per-run summaries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace irs::core {
+
+/// Exact-sample latency recorder (simulations produce modest sample counts,
+/// so we keep every value and compute exact percentiles).
+class Histogram {
+ public:
+  void add(sim::Duration v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] sim::Duration mean() const {
+    if (samples_.empty()) return 0;
+    std::int64_t total = 0;
+    for (auto v : samples_) total += v;
+    return total / static_cast<std::int64_t>(samples_.size());
+  }
+
+  /// Exact percentile, p in [0, 100].
+  [[nodiscard]] sim::Duration percentile(double p) {
+    if (samples_.empty()) return 0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto idx = static_cast<std::size_t>(rank + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] sim::Duration max() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<sim::Duration> samples_;
+  bool sorted_ = false;
+};
+
+/// Per-VM summary extracted from a finished run.
+struct VmMetrics {
+  std::string vm_name;
+  sim::Duration elapsed = 0;
+  sim::Duration cpu_time = 0;        // sum of vCPU running time
+  sim::Duration steal_time = 0;      // sum of vCPU runnable time
+  sim::Duration fair_share = 0;      // entitled CPU time over the run
+  sim::Duration useful_compute = 0;  // task-level productive work
+  double progress = 0;               // workload progress counter
+  bool workload_finished = false;
+  sim::Duration makespan = -1;       // fg completion time (bounded loads)
+
+  /// CPU utilisation relative to fair share (Fig. 2's metric).
+  [[nodiscard]] double util_vs_fair() const {
+    return fair_share > 0 ? static_cast<double>(cpu_time) /
+                                static_cast<double>(fair_share)
+                          : 0.0;
+  }
+  /// Useful work relative to fair share (excludes spin waste).
+  [[nodiscard]] double efficiency_vs_fair() const {
+    return fair_share > 0 ? static_cast<double>(useful_compute) /
+                                static_cast<double>(fair_share)
+                          : 0.0;
+  }
+};
+
+/// Percentage improvement of `x` over baseline `base` where smaller is
+/// better (runtimes, latencies).
+inline double improvement_pct(double base, double x) {
+  if (base <= 0) return 0.0;
+  return (base - x) / base * 100.0;
+}
+
+/// Percentage improvement where larger is better (throughput).
+inline double gain_pct(double base, double x) {
+  if (base <= 0) return 0.0;
+  return (x - base) / base * 100.0;
+}
+
+}  // namespace irs::core

@@ -1,0 +1,93 @@
+// World: the public facade that assembles a simulated host, VMs with guest
+// kernels, workloads, and a scheduling strategy — the library's main entry
+// point (see examples/quickstart.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/strategy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/hv/host.h"
+#include "src/sim/engine.h"
+#include "src/wl/workload.h"
+
+namespace irs::core {
+
+struct WorldConfig {
+  int n_pcpus = 4;
+  hv::HvConfig hv;
+  Strategy strategy = Strategy::kBaseline;
+  /// Base seed for all randomness in the simulation (fully deterministic).
+  std::uint64_t seed = 1;
+  /// >0 enables the trace ring with this capacity.
+  std::size_t trace_capacity = 0;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Add a VM. `irs_capable` marks guests that register VIRQ_SA_UPCALL —
+  /// the foreground VM in the paper's setup; it only takes effect under
+  /// Strategy::kIrs. Returns the VM id.
+  hv::VmId add_vm(const hv::VmConfig& vm_cfg, bool irs_capable,
+                  guest::GuestConfig guest_cfg = {});
+
+  /// Attach a workload to a VM (may be called multiple times per VM).
+  wl::Workload& attach(hv::VmId vm, std::unique_ptr<wl::Workload> w);
+
+  /// Instantiate workloads and start the host and guests. Call once.
+  void start();
+
+  /// Run until every bounded workload on `vm` finishes, or `timeout` of
+  /// simulated time elapses. Returns true when finished.
+  bool run_until_finished(hv::VmId vm, sim::Duration timeout);
+
+  /// Advance simulated time by `d`.
+  void run_for(sim::Duration d);
+
+  /// Summarise one VM's run so far.
+  [[nodiscard]] VmMetrics vm_metrics(hv::VmId vm) const;
+
+  // --- accessors ---
+  [[nodiscard]] sim::Engine& engine() { return eng_; }
+  [[nodiscard]] hv::Host& host() { return *host_; }
+  [[nodiscard]] guest::GuestKernel& kernel(hv::VmId vm) {
+    return *slots_.at(static_cast<std::size_t>(vm)).kernel;
+  }
+  [[nodiscard]] wl::Workload& workload(hv::VmId vm, std::size_t i = 0) {
+    return *slots_.at(static_cast<std::size_t>(vm)).workloads.at(i);
+  }
+  [[nodiscard]] std::size_t n_workloads(hv::VmId vm) const {
+    return slots_.at(static_cast<std::size_t>(vm)).workloads.size();
+  }
+  [[nodiscard]] Strategy strategy() const { return cfg_.strategy; }
+  [[nodiscard]] sim::Time started_at() const { return t0_; }
+
+ private:
+  struct Slot {
+    hv::Vm* vm = nullptr;
+    std::unique_ptr<guest::GuestKernel> kernel;
+    std::vector<std::unique_ptr<wl::Workload>> workloads;
+  };
+
+  [[nodiscard]] bool workloads_finished(const Slot& s) const;
+  [[nodiscard]] sim::Duration fair_share(const Slot& s,
+                                         sim::Duration elapsed) const;
+
+  WorldConfig cfg_;
+  sim::Engine eng_;
+  std::unique_ptr<hv::Host> host_;
+  std::vector<Slot> slots_;
+  sim::Time t0_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace irs::core

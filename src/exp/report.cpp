@@ -1,0 +1,70 @@
+#include "src/exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace irs::exp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << cell;
+      for (std::size_t pad = cell.size(); pad < widths[c] + 2; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_pct(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+std::string fmt_f(double v, int prec) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_ms(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fms", sim::to_ms(d));
+  return buf;
+}
+
+std::string fmt_us(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fus", sim::to_us(d));
+  return buf;
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace irs::exp

@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark binaries: each bench prints
+// the same rows/series the corresponding paper figure reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace irs::exp {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "+12.3%" / "-4.5%"
+std::string fmt_pct(double pct);
+/// "12.34" with the given precision.
+std::string fmt_f(double v, int prec = 2);
+/// Milliseconds with two decimals: "26.40ms".
+std::string fmt_ms(sim::Duration d);
+/// Microseconds with one decimal: "23.4us".
+std::string fmt_us(sim::Duration d);
+
+/// Print a figure banner ("=== Figure 5(a): ... ===").
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace irs::exp

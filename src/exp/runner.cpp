@@ -1,0 +1,165 @@
+#include "src/exp/runner.h"
+
+#include <cstdlib>
+
+#include "src/wl/registry.h"
+#include "src/wl/server.h"
+
+namespace irs::exp {
+
+namespace {
+
+/// Pin vCPU i of a VM with n vCPUs to pCPU i.
+std::vector<hv::PcpuId> identity_pins(int n) {
+  std::vector<hv::PcpuId> pins;
+  for (int i = 0; i < n; ++i) pins.push_back(i);
+  return pins;
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioConfig& cfg) {
+  core::WorldConfig wc;
+  wc.n_pcpus = cfg.n_pcpus;
+  wc.strategy = cfg.strategy;
+  wc.seed = cfg.seed;
+  wc.hv = cfg.hv;
+  core::World world(wc);
+
+  // Foreground VM.
+  hv::VmConfig fg_vm;
+  fg_vm.name = "fg";
+  fg_vm.n_vcpus = cfg.n_vcpus;
+  if (cfg.pinned) fg_vm.pin_map = identity_pins(cfg.n_vcpus);
+  const hv::VmId fg = world.add_vm(fg_vm, /*irs_capable=*/true, cfg.fg_guest);
+
+  wl::WorkloadOptions fg_opts;
+  fg_opts.n_threads = cfg.fg_threads;
+  fg_opts.npb_spinning = cfg.npb_spinning;
+  fg_opts.work_scale = cfg.work_scale;
+  fg_opts.server_duration = cfg.server_duration;
+  wl::Workload& fg_wl = world.attach(fg, wl::make_workload(cfg.fg, fg_opts));
+
+  // Interfering VM(s): n_inter vCPUs pinned to pCPUs 0..n_inter-1, running
+  // either CPU hogs or an endless real application (paper §5.1).
+  std::vector<hv::VmId> bgs;
+  if (!cfg.bg.empty() && cfg.n_inter > 0) {
+    for (int i = 0; i < cfg.n_bg_vms; ++i) {
+      hv::VmConfig bg_vm;
+      bg_vm.name = "bg" + std::to_string(i);
+      bg_vm.n_vcpus = cfg.n_inter;
+      if (cfg.pinned) bg_vm.pin_map = identity_pins(cfg.n_inter);
+      const hv::VmId bg = world.add_vm(bg_vm, /*irs_capable=*/false);
+      wl::WorkloadOptions bg_opts;
+      bg_opts.n_threads = cfg.n_inter;
+      bg_opts.endless = true;
+      bg_opts.npb_spinning = cfg.npb_spinning;
+      world.attach(bg, wl::make_workload(cfg.bg, bg_opts));
+      bgs.push_back(bg);
+    }
+  }
+
+  world.start();
+  RunResult r;
+  r.finished = world.run_until_finished(fg, cfg.timeout);
+
+  const core::VmMetrics fgm = world.vm_metrics(fg);
+  r.fg_makespan = fgm.makespan >= 0 ? fgm.makespan : fgm.elapsed;
+  r.fg_util_vs_fair = fgm.util_vs_fair();
+  r.fg_efficiency = fgm.efficiency_vs_fair();
+  if (!bgs.empty()) {
+    double rate = 0;
+    for (const hv::VmId bg : bgs) {
+      const core::VmMetrics bgm = world.vm_metrics(bg);
+      rate += bgm.progress / sim::to_sec(std::max<sim::Duration>(1, bgm.elapsed));
+    }
+    r.bg_progress_rate = rate;
+  }
+
+  // Server metrics if the foreground was a server workload.
+  if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
+    r.throughput = jbb->throughput();
+    r.lat_mean = jbb->latency().mean();
+    r.lat_p99 = jbb->latency().percentile(99.0);
+  } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
+    r.throughput = ab->throughput();
+    r.lat_mean = ab->latency().mean();
+    r.lat_p99 = ab->latency().percentile(99.0);
+  }
+
+  const hv::SchedStats& ss = world.host().sched_stats();
+  r.lhp = ss.lhp_events;
+  r.lwp = ss.lwp_events;
+  r.irs_migrations = world.kernel(fg).stats().irs_migrations;
+  const hv::StrategyStats& st = world.host().strategy_stats();
+  r.sa_sent = st.sa_sent;
+  r.sa_acked = st.sa_acked;
+  const std::uint64_t completed = st.sa_acked + st.sa_forced;
+  r.sa_delay_avg = completed > 0
+                       ? st.sa_delay_total / static_cast<sim::Duration>(completed)
+                       : 0;
+  return r;
+}
+
+RunResult run_averaged(ScenarioConfig cfg, int n_seeds) {
+  RunResult acc;
+  double makespan = 0, util = 0, eff = 0, bg_rate = 0, thr = 0;
+  double lat_mean = 0, lat_p99 = 0, sa_delay = 0;
+  for (int i = 0; i < n_seeds; ++i) {
+    cfg.seed = cfg.seed * 7919 + 13;
+    const RunResult r = run_scenario(cfg);
+    acc.finished = acc.finished || r.finished;
+    makespan += static_cast<double>(r.fg_makespan);
+    util += r.fg_util_vs_fair;
+    eff += r.fg_efficiency;
+    bg_rate += r.bg_progress_rate;
+    thr += r.throughput;
+    lat_mean += static_cast<double>(r.lat_mean);
+    lat_p99 += static_cast<double>(r.lat_p99);
+    sa_delay += static_cast<double>(r.sa_delay_avg);
+    acc.lhp += r.lhp;
+    acc.lwp += r.lwp;
+    acc.irs_migrations += r.irs_migrations;
+    acc.sa_sent += r.sa_sent;
+    acc.sa_acked += r.sa_acked;
+  }
+  const double n = n_seeds;
+  acc.fg_makespan = static_cast<sim::Duration>(makespan / n);
+  acc.fg_util_vs_fair = util / n;
+  acc.fg_efficiency = eff / n;
+  acc.bg_progress_rate = bg_rate / n;
+  acc.throughput = thr / n;
+  acc.lat_mean = static_cast<sim::Duration>(lat_mean / n);
+  acc.lat_p99 = static_cast<sim::Duration>(lat_p99 / n);
+  acc.sa_delay_avg = static_cast<sim::Duration>(sa_delay / n);
+  acc.lhp /= static_cast<std::uint64_t>(n_seeds);
+  acc.lwp /= static_cast<std::uint64_t>(n_seeds);
+  return acc;
+}
+
+double improvement_pct(const RunResult& base, const RunResult& x) {
+  return core::improvement_pct(static_cast<double>(base.fg_makespan),
+                               static_cast<double>(x.fg_makespan));
+}
+
+double weighted_speedup_pct(const RunResult& base, const RunResult& x) {
+  const double fg_speedup =
+      x.fg_makespan > 0 ? static_cast<double>(base.fg_makespan) /
+                              static_cast<double>(x.fg_makespan)
+                        : 0.0;
+  const double bg_speedup =
+      base.bg_progress_rate > 0 ? x.bg_progress_rate / base.bg_progress_rate
+                                : 1.0;
+  return 0.5 * (fg_speedup + bg_speedup) * 100.0;
+}
+
+int bench_seeds() {
+  if (const char* s = std::getenv("IRS_BENCH_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  if (std::getenv("IRS_BENCH_FAST") != nullptr) return 1;
+  return 2;
+}
+
+}  // namespace irs::exp

@@ -1,0 +1,85 @@
+// Experiment runner: builds the paper's standard two-VM (or N-VM) topology
+// around a foreground workload and interference, runs it to completion, and
+// extracts the metrics the figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/strategy.h"
+#include "src/core/world.h"
+
+namespace irs::exp {
+
+/// One experimental condition (paper §5.1 "Experimental Settings").
+struct ScenarioConfig {
+  core::Strategy strategy = core::Strategy::kBaseline;
+
+  /// Foreground workload (PARSEC/NPB name, "specjbb", "ab").
+  std::string fg = "streamcluster";
+  int fg_threads = 4;  // matches n_vcpus in the paper
+
+  /// Interference: "hog" or a real application name; empty = run alone.
+  std::string bg = "hog";
+  /// #foreground vCPUs subject to interference ("1-inter." etc.): the
+  /// background VM gets this many vCPUs/threads, pinned to pCPUs 0..n-1.
+  int n_inter = 1;
+  /// Number of co-located interfering VMs (Fig. 11 varies this).
+  int n_bg_vms = 1;
+
+  int n_vcpus = 4;
+  int n_pcpus = 4;
+  /// Pinned topology (§5.1 "CPU pinning") vs. free placement (§5.6).
+  bool pinned = true;
+
+  bool npb_spinning = true;  // OMP_WAIT_POLICY for NPB models
+  double work_scale = 1.0;
+  sim::Duration server_duration = sim::seconds(3);
+  sim::Duration timeout = sim::seconds(150);
+  std::uint64_t seed = 1;
+
+  /// Guest kernel tunables for the foreground VM (ablation knobs; the IRS
+  /// enable flag is controlled by `strategy`, not here).
+  guest::GuestConfig fg_guest{};
+  /// Hypervisor tunables (e.g. SA ack cap sweeps).
+  hv::HvConfig hv{};
+};
+
+/// Metrics extracted from one run.
+struct RunResult {
+  bool finished = false;
+  sim::Duration fg_makespan = 0;
+  double fg_util_vs_fair = 0;    // Fig. 2 metric
+  double fg_efficiency = 0;      // useful work / fair share
+  double bg_progress_rate = 0;   // bg units/sec (weighted-speedup input)
+  /// Server workloads only:
+  double throughput = 0;
+  sim::Duration lat_mean = 0;
+  sim::Duration lat_p99 = 0;
+  /// Scheduler event counters:
+  std::uint64_t lhp = 0;
+  std::uint64_t lwp = 0;
+  std::uint64_t irs_migrations = 0;
+  std::uint64_t sa_sent = 0;
+  std::uint64_t sa_acked = 0;
+  sim::Duration sa_delay_avg = 0;
+};
+
+/// Run one scenario.
+RunResult run_scenario(const ScenarioConfig& cfg);
+
+/// Average `n_seeds` runs with varied seeds (the paper averages 5 runs).
+RunResult run_averaged(ScenarioConfig cfg, int n_seeds);
+
+/// Makespan improvement of `x` over `base`, percent (Fig. 5/6 metric).
+double improvement_pct(const RunResult& base, const RunResult& x);
+
+/// Weighted speedup of fg+bg vs. baseline, percent (Fig. 7/9 metric: 100 =
+/// parity with vanilla Xen/Linux).
+double weighted_speedup_pct(const RunResult& base, const RunResult& x);
+
+/// Number of seeds per data point, honouring the IRS_BENCH_SEEDS and
+/// IRS_BENCH_FAST environment variables (default 3).
+int bench_seeds();
+
+}  // namespace irs::exp

@@ -1,0 +1,29 @@
+// Pre-packaged experiment procedures for figures that need more than a
+// plain run_scenario sweep (Fig. 1's motivation experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exp/runner.h"
+#include "src/sim/time.h"
+
+namespace irs::exp {
+
+/// Fig. 1(a): slowdown of `app` when one of four vCPUs is interfered,
+/// relative to running alone (no interference). Returns the ratio (>1).
+double fig1a_slowdown(const std::string& app, std::uint64_t seed);
+
+/// Fig. 1(b): average latency of stop-based process migration from a
+/// contended vCPU (sharing its pCPU with `n_colocated_vms` CPU-bound VMs)
+/// to a quiet one. `samples` migrations are averaged (the paper uses 30).
+struct MigrationLatencyResult {
+  double mean_ms = 0;
+  double max_ms = 0;
+  int samples = 0;
+};
+MigrationLatencyResult fig1b_migration_latency(int n_colocated_vms,
+                                               int samples,
+                                               std::uint64_t seed);
+
+}  // namespace irs::exp

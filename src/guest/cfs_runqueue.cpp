@@ -1,0 +1,57 @@
+#include "src/guest/cfs_runqueue.h"
+
+#include <algorithm>
+
+namespace irs::guest {
+
+void CfsRunqueue::enqueue(Task& t) {
+  by_vruntime_.emplace(t.vruntime, &t);
+  advance_min_vruntime(leftmost()->vruntime);
+}
+
+bool CfsRunqueue::remove(Task& t) {
+  auto [lo, hi] = by_vruntime_.equal_range(t.vruntime);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == &t) {
+      by_vruntime_.erase(it);
+      return true;
+    }
+  }
+  // The task's vruntime key may be stale if it changed while queued; fall
+  // back to a linear scan (should not happen in practice).
+  for (auto it = by_vruntime_.begin(); it != by_vruntime_.end(); ++it) {
+    if (it->second == &t) {
+      by_vruntime_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Task* CfsRunqueue::leftmost() const {
+  return by_vruntime_.empty() ? nullptr : by_vruntime_.begin()->second;
+}
+
+Task* CfsRunqueue::pop_leftmost() {
+  if (by_vruntime_.empty()) return nullptr;
+  Task* t = by_vruntime_.begin()->second;
+  by_vruntime_.erase(by_vruntime_.begin());
+  return t;
+}
+
+Task* CfsRunqueue::hottest_to_steal() const {
+  return by_vruntime_.empty() ? nullptr : by_vruntime_.rbegin()->second;
+}
+
+Task* CfsRunqueue::tagged_for(int cpu) const {
+  for (const auto& [vr, t] : by_vruntime_) {
+    if (t->migrating_tag && t->irs_home == cpu) return t;
+  }
+  return nullptr;
+}
+
+void CfsRunqueue::advance_min_vruntime(sim::Duration candidate) {
+  min_vruntime_ = std::max(min_vruntime_, candidate);
+}
+
+}  // namespace irs::guest

@@ -1,0 +1,47 @@
+// CFS-style per-CPU runqueue: ready tasks ordered by vruntime.
+// The current task is NOT in the runqueue (Linux convention) — this is
+// load-bearing for the paper's second semantic gap: a task "running" on a
+// preempted vCPU is not in any runqueue, so pull-based balancing can never
+// take it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+
+#include "src/guest/task.h"
+#include "src/sim/time.h"
+
+namespace irs::guest {
+
+class CfsRunqueue {
+ public:
+  void enqueue(Task& t);
+  /// Remove a specific task; returns false if it was not queued.
+  bool remove(Task& t);
+
+  /// Task with the smallest vruntime (next to run), or nullptr.
+  [[nodiscard]] Task* leftmost() const;
+  /// Remove and return the leftmost task, or nullptr.
+  Task* pop_leftmost();
+  /// Task with the largest vruntime — the coldest candidate, preferred by
+  /// load balancing pulls. Returns nullptr if empty.
+  [[nodiscard]] Task* hottest_to_steal() const;
+  /// A queued task displaced by IRS whose home is `cpu` (nullptr if none) —
+  /// the balancer sends these back first (paper §3.3).
+  [[nodiscard]] Task* tagged_for(int cpu) const;
+
+  [[nodiscard]] std::size_t nr_ready() const { return by_vruntime_.size(); }
+  [[nodiscard]] bool empty() const { return by_vruntime_.empty(); }
+
+  /// Monotonic floor used to normalise sleepers' vruntime on wake-up.
+  [[nodiscard]] sim::Duration min_vruntime() const { return min_vruntime_; }
+  /// Advance the floor (called as the current task accrues vruntime).
+  void advance_min_vruntime(sim::Duration candidate);
+
+ private:
+  std::multimap<sim::Duration, Task*> by_vruntime_;
+  sim::Duration min_vruntime_ = 0;
+};
+
+}  // namespace irs::guest

@@ -1,0 +1,56 @@
+// Vanilla-Linux-style load balancing for the guest (paper §2.3):
+//  * periodic (push) balancing from each CPU's timer tick,
+//  * new-idle (pull) balancing when a CPU is about to go idle.
+//
+// Only READY tasks sitting on a runqueue can be moved — a task that is
+// "current" on a preempted vCPU is invisible to both paths. That blind spot
+// is the second semantic gap IRS closes.
+//
+// Load is measured rt_avg-style: runnable tasks scaled by the CPU's
+// effective capacity after hypervisor steal time, which is how stock Linux
+// ends up spreading ab's many threads away from interfered vCPUs (§5.3).
+#pragma once
+
+#include <cstdint>
+
+#include "src/guest/types.h"
+
+namespace irs::guest {
+
+class GuestCpu;
+class GuestKernel;
+class Task;
+
+struct BalancerStats {
+  std::uint64_t periodic_calls = 0;
+  std::uint64_t newidle_calls = 0;
+  std::uint64_t tasks_pushed = 0;  // moved by periodic balancing
+  std::uint64_t tasks_pulled = 0;  // moved by new-idle balancing
+};
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(GuestKernel& kernel) : kernel_(kernel) {}
+
+  /// Periodic balance on behalf of `me` (runs from its tick). Pulls up to
+  /// `max_moves` ready tasks from the busiest CPU if imbalanced.
+  void periodic(GuestCpu& me, int max_moves = 4);
+
+  /// `me` is about to go idle: try to pull one ready task. Returns true if
+  /// a task was enqueued on `me`.
+  bool newidle(GuestCpu& me);
+
+  [[nodiscard]] const BalancerStats& stats() const { return stats_; }
+
+  /// Effective-capacity load metric used for imbalance decisions.
+  [[nodiscard]] static double load_metric(const GuestCpu& c);
+
+ private:
+  GuestCpu* busiest_other(const GuestCpu& me) const;
+  bool move_one(GuestCpu& from, GuestCpu& to, std::uint64_t BalancerStats::*ctr);
+
+  GuestKernel& kernel_;
+  BalancerStats stats_;
+};
+
+}  // namespace irs::guest

@@ -1,0 +1,70 @@
+// IRS migrator (paper §3.3, Algorithm 2): a kernel-thread-like component
+// that moves a task descheduled by the context switcher to the best sibling
+// vCPU — an idle (hypervisor-blocked) one if it exists, else the RUNNING
+// sibling with the lowest rt_avg. Preempted (runnable) siblings are never
+// chosen: the whole point is that the task must not wait behind a
+// descheduled vCPU.
+//
+// Unlike Linux's migration_cpu_stop, the migrator does not need to run on
+// the source vCPU (paper §4.2); it only needs *some* vCPU of the VM to be
+// executing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/guest/task.h"
+#include "src/guest/types.h"
+#include "src/sim/engine.h"
+
+namespace irs::guest {
+
+class GuestKernel;
+
+struct MigratorStats {
+  std::uint64_t requests = 0;
+  std::uint64_t to_idle = 0;      // target was an idle (blocked) vCPU
+  std::uint64_t to_running = 0;   // target was the least-loaded running one
+  std::uint64_t fallback_src = 0; // no eligible target; task went home
+};
+
+class Migrator {
+ public:
+  Migrator(sim::Engine& eng, GuestKernel& kernel);
+
+  /// Queue a task held in kMigrating limbo by the context switcher.
+  void request(Task& t, int src_cpu);
+
+  /// Try to make progress; called on request and whenever a vCPU of this
+  /// VM starts executing (the migrator needs a live vCPU to run on).
+  void pump();
+
+  [[nodiscard]] const MigratorStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+
+  /// Algorithm 2 target selection. Exposed for unit tests.
+  [[nodiscard]] int pick_target(int src_cpu) const;
+
+  /// Whether migrating away from `src_cpu` is worthwhile right now: the
+  /// best target is idle, or meaningfully less loaded than the source.
+  /// Under uniform contention (every sibling equally interfered) moving a
+  /// task only desynchronises the VM, so the context switcher declines the
+  /// activation instead.
+  [[nodiscard]] bool migration_worthwhile(int src_cpu) const;
+
+ private:
+  struct Req {
+    Task* task;
+    int src;
+  };
+
+  void execute();
+
+  sim::Engine& eng_;
+  GuestKernel& kernel_;
+  std::deque<Req> queue_;
+  bool busy_ = false;
+  MigratorStats stats_;
+};
+
+}  // namespace irs::guest

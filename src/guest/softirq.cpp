@@ -1,0 +1,13 @@
+#include "src/guest/softirq.h"
+
+namespace irs::guest {
+
+void Softirq::run_pending(SoftirqNr max_nr) {
+  for (std::size_t nr = 0; nr <= static_cast<std::size_t>(max_nr); ++nr) {
+    if (!pending_[nr]) continue;
+    pending_[nr] = false;
+    if (handlers_[nr]) handlers_[nr]();
+  }
+}
+
+}  // namespace irs::guest

@@ -1,0 +1,45 @@
+// Minimal per-CPU softirq layer (paper §4.2).
+//
+// The IRS context switcher runs as the handler of a new UPCALL_SOFTIRQ,
+// deliberately prioritised BELOW TIMER_SOFTIRQ so that a simultaneous timer
+// tick — which may itself deschedule the current task — is handled first,
+// preventing IRS from migrating a task the timer was about to switch out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+namespace irs::guest {
+
+enum class SoftirqNr : std::uint8_t {
+  kTimer = 0,   // TIMER_SOFTIRQ: highest priority here
+  kUpcall = 1,  // UPCALL_SOFTIRQ: the IRS context switcher
+};
+inline constexpr int kNumSoftirqs = 2;
+
+class Softirq {
+ public:
+  using Handler = std::function<void()>;
+
+  void set_handler(SoftirqNr nr, Handler h) {
+    handlers_[static_cast<std::size_t>(nr)] = std::move(h);
+  }
+
+  /// Mark a softirq pending (idempotent).
+  void raise(SoftirqNr nr) { pending_[static_cast<std::size_t>(nr)] = true; }
+
+  [[nodiscard]] bool pending(SoftirqNr nr) const {
+    return pending_[static_cast<std::size_t>(nr)];
+  }
+
+  /// Run pending softirqs with number <= max_nr, in priority order. Running
+  /// kUpcall therefore first drains a pending kTimer.
+  void run_pending(SoftirqNr max_nr);
+
+ private:
+  std::array<bool, kNumSoftirqs> pending_{};
+  std::array<Handler, kNumSoftirqs> handlers_{};
+};
+
+}  // namespace irs::guest

@@ -1,0 +1,18 @@
+#include "src/guest/task.h"
+
+namespace irs::guest {
+
+const char* task_state_name(TaskState s) {
+  switch (s) {
+    case TaskState::kRunning: return "running";
+    case TaskState::kReady: return "ready";
+    case TaskState::kSpinning: return "spinning";
+    case TaskState::kBlocked: return "blocked";
+    case TaskState::kSleeping: return "sleeping";
+    case TaskState::kMigrating: return "migrating";
+    case TaskState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+}  // namespace irs::guest

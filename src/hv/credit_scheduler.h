@@ -1,0 +1,117 @@
+// Xen credit1-style scheduler.
+//
+// Implements the behaviours the paper's analysis depends on:
+//  * 30 ms time slices with FIFO rotation inside a priority class,
+//  * per-tick credit burn and periodic weight-proportional accounting,
+//  * BOOST on wake-up from blocked (latency-sensitive vCPUs preempt),
+//  * idle-time work stealing and utilisation-driven wake placement
+//    (the source of the CPU-stacking problem, §5.6),
+//  * a pre-preemption hook through which the IRS scheduler-activation
+//    sender delays involuntary preemptions (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/hv/pcpu.h"
+#include "src/hv/types.h"
+#include "src/hv/vcpu.h"
+#include "src/hv/vm.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+
+namespace irs::hv {
+
+/// Installed by the IRS SA sender. Called when the scheduler is about to
+/// involuntarily preempt `cur`; returning true defers the preemption (the
+/// hook is then responsible for eventually completing it via the guest's
+/// yield/block acknowledgement or the hard-cap timer).
+class PreemptHook {
+ public:
+  virtual ~PreemptHook() = default;
+  virtual bool delay_preemption(Vcpu& cur) = 0;
+  /// Called when a pending SA is acknowledged by the guest's yield/block.
+  virtual void note_ack(Vcpu& cur) = 0;
+};
+
+/// Scheduler event counters (exported through Host for metrics/tests).
+struct SchedStats {
+  std::uint64_t context_switches = 0;
+  std::uint64_t preemptions = 0;  // involuntary deschedules
+  std::uint64_t lhp_events = 0;   // preempted while current task held a lock
+  std::uint64_t lwp_events = 0;   // preempted while current task waited
+  std::uint64_t wakeups = 0;
+  std::uint64_t steals = 0;       // vCPUs pulled by idle pCPUs
+  std::uint64_t migrations = 0;   // vCPU changed home pCPU on wake
+};
+
+class CreditScheduler {
+ public:
+  CreditScheduler(sim::Engine& eng, const HvConfig& cfg,
+                  std::vector<Pcpu>& pcpus, std::vector<Vm*>& vms,
+                  sim::Trace& trace);
+
+  /// Arm the periodic tick and accounting timers. Call once.
+  void start();
+
+  /// A blocked vCPU becomes runnable (event-channel kick, task enqueue).
+  void wake(Vcpu& v);
+
+  /// SCHEDOP_block from the running vCPU: guest has nothing to run.
+  void block(Vcpu& v);
+
+  /// SCHEDOP_yield from the running vCPU.
+  void yield(Vcpu& v);
+
+  /// Force an involuntary preemption right now, bypassing the preempt hook
+  /// (used by the SA hard-cap timer, PLE exits, and relaxed-co stops).
+  void force_preempt(Vcpu& v);
+
+  /// Coalesced request to run the scheduler on a pCPU "soon" (this instant,
+  /// after currently queued events).
+  void request_resched(Pcpu& p);
+
+  /// Install the IRS pre-preemption hook (nullptr to remove).
+  void set_preempt_hook(PreemptHook* hook) { hook_ = hook; }
+
+  [[nodiscard]] const SchedStats& stats() const { return stats_; }
+  SchedStats& stats_mutable() { return stats_; }
+
+  /// Re-sort all runqueues after a global priority refresh.
+  void rebuild_queues();
+
+  /// Deterministic wake placement: last-used pCPU if idle, else any idle
+  /// allowed pCPU, else the least-loaded allowed pCPU (lowest id wins ties).
+  [[nodiscard]] PcpuId cpu_pick(const Vcpu& v) const;
+
+ private:
+  void do_schedule(Pcpu& p);
+  void on_tick(Pcpu& p);
+  void on_accounting();
+  /// Move `cur` off `p` into the runnable queue (involuntary).
+  void deschedule_current(Pcpu& p, StopReason reason);
+  /// Install `next` (may be nullptr -> idle) on `p` and start its slice.
+  void switch_to(Pcpu& p, Vcpu* next);
+  /// Try to steal a runnable vCPU for idle pCPU `p` from its peers.
+  Vcpu* steal_for(Pcpu& p);
+  /// Notify the guest that its vCPU stopped, with LHP/LWP classification.
+  void notify_stopped(Vcpu& v, StopReason reason);
+
+  static bool prio_better(const Vcpu& a, const Vcpu& b) {
+    return static_cast<int>(a.prio()) < static_cast<int>(b.prio());
+  }
+  static bool prio_not_worse(const Vcpu& a, const Vcpu& b) {
+    return static_cast<int>(a.prio()) <= static_cast<int>(b.prio());
+  }
+
+  sim::Engine& eng_;
+  const HvConfig& cfg_;
+  std::vector<Pcpu>& pcpus_;
+  std::vector<Vm*>& vms_;
+  sim::Trace& trace_;
+  PreemptHook* hook_ = nullptr;
+  SchedStats stats_;
+};
+
+}  // namespace irs::hv

@@ -1,0 +1,19 @@
+#include "src/hv/event_channel.h"
+
+#include "src/hv/vm.h"
+
+namespace irs::hv {
+
+bool EventChannel::notify(Vcpu& v, Virq irq) {
+  if (v.state() != VcpuState::kRunning || !v.guest_active) return false;
+  if (!v.vm().has_guest()) return false;
+  v.vm().guest().deliver_virq(v.idx(), irq);
+  return true;
+}
+
+void EventChannel::kick(Vcpu& v) {
+  if (v.state() != VcpuState::kBlocked) return;
+  sched_.wake(v);
+}
+
+}  // namespace irs::hv

@@ -1,0 +1,33 @@
+// Minimal event-channel model: the notification fabric between the
+// hypervisor and guests (and between sibling vCPUs of one guest).
+//
+// Two operations matter for IRS:
+//  * notify(): deliver a virtual IRQ to a *running* vCPU (the SA upcall is
+//    designed as a vIRQ so delivery is immediate, paper §3.1);
+//  * kick(): wake a *blocked* sibling vCPU, as Linux does when it enqueues
+//    work on an idle CPU.
+#pragma once
+
+#include "src/hv/credit_scheduler.h"
+#include "src/hv/types.h"
+#include "src/hv/vcpu.h"
+
+namespace irs::hv {
+
+class EventChannel {
+ public:
+  explicit EventChannel(CreditScheduler& sched) : sched_(sched) {}
+
+  /// Deliver `irq` to the guest if the vCPU currently executes guest code.
+  /// Returns false (dropped) otherwise — callers that need wake semantics
+  /// use kick() instead.
+  bool notify(Vcpu& v, Virq irq);
+
+  /// Wake a blocked vCPU. No-op if it is not blocked.
+  void kick(Vcpu& v);
+
+ private:
+  CreditScheduler& sched_;
+};
+
+}  // namespace irs::hv

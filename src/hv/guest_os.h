@@ -1,0 +1,48 @@
+// The hypervisor's view of a guest operating system.
+//
+// The hypervisor never reaches into guest data structures; everything it can
+// do to a guest goes through this narrow interface — exactly the semantic
+// boundary whose gaps the paper studies. `vcpu` arguments are indices within
+// the VM (0..n_vcpus-1), not global ids.
+#pragma once
+
+#include <cstdint>
+
+#include "src/hv/types.h"
+
+namespace irs::hv {
+
+/// Classification of what a vCPU was doing when it lost its pCPU, used by
+/// metrics to count lock-holder (LHP) and lock-waiter (LWP) preemptions.
+struct PreemptClass {
+  bool holds_lock = false;   // current task holds >=1 lock: LHP
+  bool waits_lock = false;   // current task spins/queues on a lock: LWP
+};
+
+/// Interface implemented by guest kernels (see guest::GuestKernel).
+class GuestOs {
+ public:
+  virtual ~GuestOs() = default;
+
+  /// The vCPU has been placed on a pCPU and begins executing guest code.
+  virtual void vcpu_started(int vcpu) = 0;
+
+  /// The vCPU lost its pCPU. No guest code on this vCPU runs until the next
+  /// vcpu_started(). The guest must freeze in-flight work accounting.
+  virtual void vcpu_stopped(int vcpu, StopReason reason) = 0;
+
+  /// Deliver a virtual IRQ. Only called while the vCPU is running.
+  virtual void deliver_virq(int vcpu, Virq irq) = 0;
+
+  /// True if the guest registered a handler for VIRQ_SA_UPCALL. Vanilla
+  /// guests return false and the hypervisor never sends them SAs
+  /// (paper §5.4 footnote: the background VM ignores SA).
+  [[nodiscard]] virtual bool sa_registered() const = 0;
+
+  /// Describe what the vCPU's current task is doing, for LHP/LWP accounting
+  /// at deschedule time. Purely observational (a real system cannot do this;
+  /// the simulator uses it only for metrics, never for scheduling).
+  [[nodiscard]] virtual PreemptClass classify_preemption(int vcpu) const = 0;
+};
+
+}  // namespace irs::hv

@@ -1,0 +1,121 @@
+#include "src/hv/host.h"
+
+#include <cassert>
+
+#include "src/hv/delay_preempt.h"
+#include "src/hv/event_channel.h"
+#include "src/hv/ple.h"
+#include "src/hv/relaxed_co.h"
+#include "src/hv/sa_sender.h"
+
+namespace irs::hv {
+
+/// Per-VM hypercall adapter: maps VM-local vCPU indices onto global vCPUs
+/// and forwards to the scheduler.
+class Host::VmHypercalls final : public Hypercalls {
+ public:
+  VmHypercalls(Host& host, Vm& vm, EventChannel& evtchn)
+      : host_(host), vm_(vm), evtchn_(evtchn) {}
+
+  void sched_block(int vcpu) override {
+    host_.sched().block(vm_.vcpu(vcpu));
+  }
+
+  void sched_yield(int vcpu) override {
+    host_.sched().yield(vm_.vcpu(vcpu));
+  }
+
+  [[nodiscard]] RunstateInfo vcpu_runstate(int vcpu) const override {
+    return vm_.vcpu(vcpu).runstate(host_.eng_.now());
+  }
+
+  void vcpu_kick(int vcpu) override { evtchn_.kick(vm_.vcpu(vcpu)); }
+
+ private:
+  Host& host_;
+  Vm& vm_;
+  EventChannel& evtchn_;
+};
+
+Host::Host(sim::Engine& eng, HvConfig cfg, int n_pcpus) : eng_(eng), cfg_(cfg) {
+  assert(n_pcpus > 0);
+  pcpus_.reserve(static_cast<std::size_t>(n_pcpus));
+  for (int i = 0; i < n_pcpus; ++i) pcpus_.emplace_back(i);
+  sched_ = std::make_unique<CreditScheduler>(eng_, cfg_, pcpus_, vms_, trace_);
+  evtchn_ = std::make_unique<EventChannel>(*sched_);
+}
+
+Host::~Host() = default;
+
+Vm& Host::add_vm(const VmConfig& vm_cfg) {
+  const VmId id = static_cast<VmId>(vm_storage_.size());
+  vm_storage_.push_back(std::make_unique<Vm>(id, vm_cfg));
+  Vm& vm = *vm_storage_.back();
+  vms_.push_back(&vm);
+  for (int i = 0; i < vm_cfg.n_vcpus; ++i) {
+    const VcpuId vid = static_cast<VcpuId>(vcpus_.size());
+    vcpus_.push_back(std::make_unique<Vcpu>(vid, &vm, i));
+    Vcpu& v = *vcpus_.back();
+    if (!vm_cfg.pin_map.empty()) {
+      assert(static_cast<std::size_t>(i) < vm_cfg.pin_map.size() &&
+             "pin_map must cover every vCPU");
+      const PcpuId p = vm_cfg.pin_map[static_cast<std::size_t>(i)];
+      assert(p >= 0 && p < n_pcpus());
+      v.set_affinity({p});
+      v.set_resident(p);
+    } else {
+      v.set_resident(static_cast<PcpuId>(i % n_pcpus()));
+    }
+    vm.attach_vcpu(&v);
+  }
+  hypercalls_.push_back(std::make_unique<VmHypercalls>(*this, vm, *evtchn_));
+  return vm;
+}
+
+void Host::start() {
+  sched_->start();
+  if (relaxed_co_) relaxed_co_->start();
+}
+
+void Host::enable_irs() {
+  sa_sender_ =
+      std::make_unique<SaSender>(eng_, cfg_, *sched_, sstats_, trace_);
+  sched_->set_preempt_hook(sa_sender_.get());
+}
+
+void Host::enable_delay_preempt() {
+  delay_ = std::make_unique<DelayPreemptHook>(eng_, cfg_, *sched_, sstats_);
+  sched_->set_preempt_hook(delay_.get());
+}
+
+void Host::enable_ple() {
+  ple_ = std::make_unique<PleMonitor>(eng_, cfg_, *sched_, pcpus_, sstats_,
+                                      trace_);
+}
+
+void Host::enable_relaxed_co() {
+  relaxed_co_ = std::make_unique<RelaxedCoMonitor>(eng_, cfg_, *sched_,
+                                                   pcpus_, vms_, sstats_,
+                                                   trace_);
+}
+
+Hypercalls& Host::hypercalls(Vm& vm) {
+  return *hypercalls_.at(static_cast<std::size_t>(vm.id()));
+}
+
+void Host::note_spinning(Vm& vm, int vcpu_idx, bool spinning) {
+  Vcpu& v = vm.vcpu(vcpu_idx);
+  v.set_spinning(spinning);
+  if (ple_) ple_->on_spin_signal(v, spinning);
+}
+
+void Host::note_lock_hint(Vm& vm, int vcpu_idx, bool holds_lock) {
+  Vcpu& v = vm.vcpu(vcpu_idx);
+  if (delay_) {
+    delay_->on_lock_hint(v, holds_lock);
+  } else {
+    v.lock_hint = holds_lock;
+  }
+}
+
+}  // namespace irs::hv

@@ -1,0 +1,101 @@
+// The physical host: pCPUs, VMs, the credit scheduler, and the optional
+// strategy components (IRS SA sender, PLE, relaxed co-scheduling).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/hv/credit_scheduler.h"
+#include "src/hv/hypercalls.h"
+#include "src/hv/pcpu.h"
+#include "src/hv/types.h"
+#include "src/hv/vcpu.h"
+#include "src/hv/vm.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+
+namespace irs::hv {
+
+class SaSender;
+class PleMonitor;
+class RelaxedCoMonitor;
+class DelayPreemptHook;
+class EventChannel;
+
+/// Counters for the optional strategy components.
+struct StrategyStats {
+  std::uint64_t sa_sent = 0;     // SA notifications delivered
+  std::uint64_t sa_acked = 0;    // guest acknowledged in time
+  std::uint64_t sa_forced = 0;   // hard cap expired, forced preemption
+  sim::Duration sa_delay_total = 0;  // cumulative preemption delay
+  std::uint64_t ple_exits = 0;
+  std::uint64_t co_stops = 0;
+  std::uint64_t delay_grants = 0;    // delay-preemption windows opened
+  std::uint64_t delay_released = 0;  // lock released inside the window
+  std::uint64_t delay_expired = 0;   // window hit the hard cap
+};
+
+class Host {
+ public:
+  Host(sim::Engine& eng, HvConfig cfg, int n_pcpus);
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// Create a VM and its vCPUs (pinned per cfg.pin_map if given).
+  Vm& add_vm(const VmConfig& cfg);
+
+  /// Arm periodic timers. Call once after all VMs are added.
+  void start();
+
+  // --- strategy installation (call before start()) ---
+  void enable_irs();            // SA sender half of IRS
+  void enable_ple();            // pause-loop-exiting emulation
+  void enable_relaxed_co();     // VMware-style relaxed co-scheduling
+  void enable_delay_preempt();  // Uhlig-style lock-holder delay baseline
+
+  // --- accessors ---
+  [[nodiscard]] sim::Engine& engine() { return eng_; }
+  [[nodiscard]] const HvConfig& config() const { return cfg_; }
+  [[nodiscard]] int n_pcpus() const { return static_cast<int>(pcpus_.size()); }
+  [[nodiscard]] Pcpu& pcpu(PcpuId id) { return pcpus_.at(id); }
+  [[nodiscard]] int n_vms() const { return static_cast<int>(vms_.size()); }
+  [[nodiscard]] Vm& vm(VmId id) { return *vms_.at(id); }
+  [[nodiscard]] Vcpu& vcpu(VcpuId id) { return *vcpus_.at(id); }
+  [[nodiscard]] CreditScheduler& sched() { return *sched_; }
+  [[nodiscard]] const SchedStats& sched_stats() const { return sched_->stats(); }
+  [[nodiscard]] StrategyStats& strategy_stats() { return sstats_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+
+  /// Per-VM hypercall surface handed to guest kernels.
+  [[nodiscard]] Hypercalls& hypercalls(Vm& vm);
+
+  /// Guest-side spin signal (models the PAUSE loops PLE hardware observes).
+  /// Safe to call regardless of whether PLE is enabled.
+  void note_spinning(Vm& vm, int vcpu_idx, bool spinning);
+
+  /// Guest paravirtual lock hint (consumed by the delay-preemption
+  /// baseline; a no-op otherwise).
+  void note_lock_hint(Vm& vm, int vcpu_idx, bool holds_lock);
+
+ private:
+  class VmHypercalls;
+
+  sim::Engine& eng_;
+  HvConfig cfg_;
+  sim::Trace trace_;
+  std::vector<Pcpu> pcpus_;
+  std::vector<std::unique_ptr<Vm>> vm_storage_;
+  std::vector<Vm*> vms_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  std::vector<std::unique_ptr<VmHypercalls>> hypercalls_;
+  std::unique_ptr<EventChannel> evtchn_;
+  std::unique_ptr<CreditScheduler> sched_;
+  std::unique_ptr<SaSender> sa_sender_;
+  std::unique_ptr<DelayPreemptHook> delay_;
+  std::unique_ptr<PleMonitor> ple_;
+  std::unique_ptr<RelaxedCoMonitor> relaxed_co_;
+  StrategyStats sstats_;
+};
+
+}  // namespace irs::hv

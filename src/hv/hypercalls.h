@@ -1,0 +1,45 @@
+// The guest's view of the hypervisor: the hypercall surface.
+//
+// Mirrors the Xen interfaces the paper's Linux changes use:
+//   HYPERVISOR_sched_op(SCHEDOP_block / SCHEDOP_yield)  -> sched_block/yield
+//   HYPERVISOR_vcpu_op (runstate queries)               -> vcpu_runstate
+//   event-channel kick of a blocked sibling vCPU        -> vcpu_kick
+// plus the paravirtual steal clock Linux uses for rt_avg.
+#pragma once
+
+#include "src/hv/types.h"
+
+namespace irs::hv {
+
+/// Snapshot of a vCPU's hypervisor runstate, as returned by
+/// HYPERVISOR_vcpu_op(VCPUOP_get_runstate_info).
+struct RunstateInfo {
+  VcpuState state = VcpuState::kBlocked;
+  sim::Time state_entered = 0;      // when the current state began
+  sim::Duration time_running = 0;   // cumulative ns in kRunning
+  sim::Duration time_runnable = 0;  // cumulative ns waiting for a pCPU (steal)
+  sim::Duration time_blocked = 0;   // cumulative ns blocked
+};
+
+/// Hypercalls available to one VM. `vcpu` is the index within the VM.
+class Hypercalls {
+ public:
+  virtual ~Hypercalls() = default;
+
+  /// SCHEDOP_block: the calling vCPU has nothing to run; block it.
+  /// Must be invoked for the vCPU that is currently executing.
+  virtual void sched_block(int vcpu) = 0;
+
+  /// SCHEDOP_yield: relinquish the pCPU without changing state to blocked.
+  virtual void sched_yield(int vcpu) = 0;
+
+  /// Query a sibling vCPU's runstate (used by the IRS migrator and by the
+  /// guest's steal clock).
+  [[nodiscard]] virtual RunstateInfo vcpu_runstate(int vcpu) const = 0;
+
+  /// Send an event to a blocked sibling vCPU so it wakes up (models the
+  /// event-channel kick Linux performs when enqueueing work on an idle CPU).
+  virtual void vcpu_kick(int vcpu) = 0;
+};
+
+}  // namespace irs::hv

@@ -1,0 +1,43 @@
+// Pause-loop-exiting (PLE) emulation.
+//
+// Real PLE hardware counts PAUSE iterations inside a guest and forces a
+// VM-exit when a spin loop exceeds the PLE window; Xen's credit scheduler
+// then yields the spinning vCPU. We model the same observable behaviour:
+// when a vCPU's guest has been continuously spinning for `ple_window` while
+// the vCPU holds a pCPU, the vCPU is charged the exit cost and yielded —
+// but only if some other vCPU is waiting (yielding to nobody is pointless,
+// matching Xen's behaviour).
+#pragma once
+
+#include "src/hv/credit_scheduler.h"
+#include "src/hv/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+
+namespace irs::hv {
+
+struct StrategyStats;
+
+class PleMonitor {
+ public:
+  PleMonitor(sim::Engine& eng, const HvConfig& cfg, CreditScheduler& sched,
+             std::vector<Pcpu>& pcpus, StrategyStats& stats,
+             sim::Trace& trace);
+
+  /// Guest spin-state edge (also re-signalled when a spinning vCPU regains
+  /// a pCPU, since preemption resets the hardware's continuity counter).
+  void on_spin_signal(Vcpu& v, bool spinning);
+
+ private:
+  void arm(Vcpu& v);
+  void fire(Vcpu& v);
+
+  sim::Engine& eng_;
+  const HvConfig& cfg_;
+  CreditScheduler& sched_;
+  std::vector<Pcpu>& pcpus_;
+  StrategyStats& stats_;
+  sim::Trace& trace_;
+};
+
+}  // namespace irs::hv

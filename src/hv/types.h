@@ -1,0 +1,90 @@
+// Core identifier types and tunables for the hypervisor substrate.
+//
+// The hypervisor model follows Xen's credit scheduler (credit1) as described
+// in the IRS paper: 30 ms time slices, 10 ms ticks, 30 ms credit accounting,
+// BOOST/UNDER/OVER priorities, wake-up boosting and idle-time vCPU stealing.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/sim/time.h"
+
+namespace irs::hv {
+
+using PcpuId = std::int32_t;
+using VcpuId = std::int32_t;
+using VmId = std::int32_t;
+
+inline constexpr PcpuId kNoPcpu = -1;
+inline constexpr VcpuId kNoVcpu = -1;
+
+/// Hypervisor-visible vCPU states (paper §3.2): running on a pCPU, runnable
+/// (preempted but has work), or blocked (guest idle / waiting for events).
+enum class VcpuState : std::uint8_t { kRunning, kRunnable, kBlocked };
+
+const char* vcpu_state_name(VcpuState s);
+
+/// Credit-scheduler priority classes, ordered best-first.
+enum class CreditPrio : std::uint8_t { kBoost = 0, kUnder = 1, kOver = 2 };
+
+const char* credit_prio_name(CreditPrio p);
+
+/// Why a vCPU lost its pCPU (guest kernels pause accounting either way, but
+/// tests and metrics distinguish the cases).
+enum class StopReason : std::uint8_t {
+  kPreempted,  // involuntary: slice expiry, boost preemption, PLE, co-stop
+  kYielded,    // voluntary SCHEDOP_yield
+  kBlocked,    // voluntary SCHEDOP_block
+};
+
+/// Virtual IRQ numbers delivered over event channels.
+enum class Virq : std::uint8_t {
+  kSaUpcall,  // VIRQ_SA_UPCALL — the IRS scheduler-activation notification
+};
+
+/// Hypervisor tunables. Defaults mirror Xen 4.5 credit1 and the paper's
+/// measured IRS costs.
+struct HvConfig {
+  sim::Duration time_slice = sim::milliseconds(30);
+  sim::Duration tick_period = sim::milliseconds(10);
+  sim::Duration accounting_period = sim::milliseconds(30);
+
+  /// Credits debited from the running vCPU per tick (credit1 uses 100).
+  std::int32_t credits_per_tick = 100;
+  /// Credit clamp (credit1 caps at one accounting period's worth per pCPU).
+  std::int32_t credit_cap = 300;
+
+  /// Cost of a hypervisor-level vCPU context switch (world switch).
+  sim::Duration vcpu_switch_cost = sim::microseconds(3);
+
+  /// Whether idle pCPUs steal runnable vCPUs from busy peers (credit1 does;
+  /// disabled automatically when every vCPU is pinned to one pCPU).
+  bool work_stealing = true;
+
+  /// --- IRS scheduler-activation knobs (hypervisor half, §3.1/§4.1) ---
+  /// Hard cap on how long a preemption may be delayed waiting for the guest
+  /// to acknowledge an SA (defends against rogue guests).
+  sim::Duration sa_ack_cap = sim::microseconds(100);
+
+  /// --- PLE (pause-loop exiting) knobs ---
+  /// Continuous guest spin time that triggers a PLE VM-exit.
+  sim::Duration ple_window = sim::microseconds(50);
+  /// VM-exit + hypervisor handling overhead charged per PLE exit.
+  sim::Duration ple_exit_cost = sim::microseconds(5);
+
+  /// --- Delay-preemption baseline (Uhlig et al., paper §2.2) ---
+  /// Upper bound on how long a lock-holding vCPU's preemption is deferred.
+  sim::Duration delay_preempt_cap = sim::microseconds(500);
+
+  /// --- Relaxed co-scheduling knobs (§5.1 "Relaxed-Co") ---
+  /// Skew threshold beyond which the leading vCPU is stopped.
+  sim::Duration co_skew_threshold = sim::milliseconds(15);
+  /// How long a leading vCPU stays stopped — long enough for the boosted
+  /// laggard to close the skew, well short of a full accounting period
+  /// (ESX re-evaluates continuously rather than stopping for whole
+  /// periods).
+  sim::Duration co_stop_duration = sim::milliseconds(8);
+};
+
+}  // namespace irs::hv

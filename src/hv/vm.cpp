@@ -1,0 +1,7 @@
+#include "src/hv/vm.h"
+
+namespace irs::hv {
+
+Vm::Vm(VmId id, VmConfig cfg) : id_(id), cfg_(std::move(cfg)) {}
+
+}  // namespace irs::hv

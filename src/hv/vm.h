@@ -1,0 +1,53 @@
+// A virtual machine (Xen "domain"): a set of vCPUs plus the guest OS that
+// runs on them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hv/guest_os.h"
+#include "src/hv/types.h"
+
+namespace irs::hv {
+
+class Vcpu;
+
+/// Per-VM configuration.
+struct VmConfig {
+  std::string name = "vm";
+  int n_vcpus = 4;
+  /// Credit-scheduler weight (Xen default 256).
+  std::int32_t weight = 256;
+  /// If non-empty, vCPU i is pinned to pin_map[i]. Otherwise unpinned.
+  std::vector<PcpuId> pin_map;
+};
+
+class Vm {
+ public:
+  Vm(VmId id, VmConfig cfg);
+
+  [[nodiscard]] VmId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] const VmConfig& config() const { return cfg_; }
+  [[nodiscard]] std::int32_t weight() const { return cfg_.weight; }
+
+  [[nodiscard]] int n_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  [[nodiscard]] Vcpu& vcpu(int idx) const { return *vcpus_.at(idx); }
+  [[nodiscard]] const std::vector<Vcpu*>& vcpus() const { return vcpus_; }
+  void attach_vcpu(Vcpu* v) { vcpus_.push_back(v); }
+
+  /// The guest kernel; set once by the world builder before simulation.
+  [[nodiscard]] GuestOs& guest() const { return *guest_; }
+  [[nodiscard]] bool has_guest() const { return guest_ != nullptr; }
+  void set_guest(GuestOs* g) { guest_ = g; }
+
+ private:
+  VmId id_;
+  VmConfig cfg_;
+  std::vector<Vcpu*> vcpus_;  // owned by Host
+  GuestOs* guest_ = nullptr;  // owned by World
+};
+
+}  // namespace irs::hv

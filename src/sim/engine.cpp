@@ -1,0 +1,59 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+namespace irs::sim {
+
+EventHandle Engine::schedule(Duration delay, Callback fn, const char* label) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn), label);
+}
+
+EventHandle Engine::schedule_at(Time when, Callback fn, const char* label) {
+  if (when < now_) when = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled, label});
+  return EventHandle{std::move(cancelled)};
+}
+
+bool Engine::dispatch_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the small fields and move the callback through a pop-then-run
+    // pattern: take a copy of the shared state, pop, then invoke.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;  // cancelled shell; skip silently
+    *ev.cancelled = true;         // mark fired so late cancel() is a no-op
+    now_ = ev.when;
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (dispatch_one()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && dispatch_one()) ++n;
+  assert(n < max_events && "event budget exhausted: runaway simulation?");
+  return n;
+}
+
+bool Engine::run_while(const std::function<bool()>& keep_going) {
+  while (keep_going()) {
+    if (!dispatch_one()) return false;  // drained before predicate flipped
+  }
+  return true;
+}
+
+}  // namespace irs::sim

@@ -1,0 +1,107 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of cancellable events. Events scheduled
+// for the same timestamp fire in scheduling order (stable FIFO tie-break),
+// which keeps simulations deterministic regardless of heap internals.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace irs::sim {
+
+class Engine;
+
+/// Handle to a scheduled event. Default-constructed handles are inert.
+/// Cancelling an already-fired or already-cancelled event is a no-op, so
+/// callers can hold handles without tracking lifecycle precisely.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still waiting to fire.
+  [[nodiscard]] bool pending() const { return state_ && !*state_; }
+
+  /// Prevent the event from firing. Safe to call repeatedly.
+  void cancel() {
+    if (state_) *state_ = true;
+    state_.reset();
+  }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<bool> state_;  // *state_ == true means cancelled/fired
+};
+
+/// The event-driven clock that everything in the simulation hangs off.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` ns from now. Negative delays are clamped
+  /// to zero (fires this instant, after already-queued same-time events).
+  EventHandle schedule(Duration delay, Callback fn, const char* label = "");
+
+  /// Schedule `fn` at an absolute timestamp (clamped to now()).
+  EventHandle schedule_at(Time when, Callback fn, const char* label = "");
+
+  /// Run events until the queue drains or `deadline` passes.
+  /// Returns the number of events dispatched.
+  std::uint64_t run_until(Time deadline);
+
+  /// Run until no events remain. `max_events` guards against runaway
+  /// self-rescheduling loops; exceeding it aborts via assert in debug and
+  /// stops dispatching in release.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Dispatch events while `keep_going()` returns true. Returns true if the
+  /// loop stopped because the predicate flipped, false if the queue drained
+  /// first.
+  bool run_while(const std::function<bool()>& keep_going);
+
+  /// Number of events waiting in the queue (including cancelled shells).
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Total events dispatched over the engine's lifetime.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break for identical timestamps
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+    const char* label = "";
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_one();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace irs::sim

@@ -1,0 +1,45 @@
+// Simulated-time primitives for the IRS reproduction.
+//
+// All simulation timestamps and durations are signed 64-bit nanosecond
+// counts. Signed arithmetic keeps subtraction safe; the range (~292 years)
+// is far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace irs::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A duration in simulated nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Convenience constructors so configuration code reads like the paper
+/// ("30 ms slice", "20 us upcall").
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Render a Time/Duration as fractional milliseconds (for reports).
+constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Render a Time/Duration as fractional microseconds (for reports).
+constexpr double to_us(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Render a Time/Duration as fractional seconds (for reports).
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace irs::sim

@@ -1,0 +1,87 @@
+#include "src/sim/trace.h"
+
+#include <sstream>
+
+namespace irs::sim {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kHvSchedule: return "hv.schedule";
+    case TraceKind::kHvPreempt: return "hv.preempt";
+    case TraceKind::kHvBlock: return "hv.block";
+    case TraceKind::kHvWake: return "hv.wake";
+    case TraceKind::kSaSend: return "sa.send";
+    case TraceKind::kSaAck: return "sa.ack";
+    case TraceKind::kGuestSwitch: return "guest.switch";
+    case TraceKind::kGuestWake: return "guest.wake";
+    case TraceKind::kMigrate: return "guest.migrate";
+    case TraceKind::kLhp: return "sync.lhp";
+    case TraceKind::kLwp: return "sync.lwp";
+    case TraceKind::kPleExit: return "hv.ple";
+    case TraceKind::kCoStop: return "hv.co-stop";
+    case TraceKind::kUser: return "user";
+  }
+  return "?";
+}
+
+void Trace::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity);
+  head_ = 0;
+  wrapped_ = false;
+}
+
+void Trace::record(Time when, TraceKind kind, std::int32_t a, std::int32_t b,
+                   const char* note) {
+  if (!enabled()) return;
+  TraceRecord rec{when, kind, a, b, note};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    head_ = ring_.size() % capacity_;
+  } else {
+    ring_[head_] = rec;
+    head_ = (head_ + 1) % capacity_;
+    wrapped_ = true;
+  }
+}
+
+std::vector<TraceRecord> Trace::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (!wrapped_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : ring_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::dump() const {
+  std::ostringstream os;
+  for (const auto& r : snapshot()) {
+    os << to_ms(r.when) << "ms " << trace_kind_name(r.kind) << " a=" << r.a
+       << " b=" << r.b;
+    if (r.note && r.note[0]) os << " (" << r.note << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Trace::clear() {
+  ring_.clear();
+  head_ = 0;
+  wrapped_ = false;
+}
+
+}  // namespace irs::sim

@@ -1,0 +1,71 @@
+// Lightweight event tracing for debugging and for tests that assert on
+// scheduling decisions. Disabled by default; enabling keeps the most recent
+// `capacity` records in a ring buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace irs::sim {
+
+/// Trace record categories, roughly one per subsystem.
+enum class TraceKind : std::uint8_t {
+  kHvSchedule,    // hypervisor picked a vCPU for a pCPU
+  kHvPreempt,     // involuntary vCPU deschedule
+  kHvBlock,       // vCPU blocked (guest idle / SCHEDOP_block)
+  kHvWake,        // vCPU woke
+  kSaSend,        // SA notification sent (IRS)
+  kSaAck,         // guest acknowledged SA
+  kGuestSwitch,   // guest context switch on a vCPU
+  kGuestWake,     // task wakeup
+  kMigrate,       // task migrated between vCPUs
+  kLhp,           // lock-holder preemption detected
+  kLwp,           // lock-waiter preemption detected
+  kPleExit,       // pause-loop exit fired
+  kCoStop,        // relaxed-co stopped a leading vCPU
+  kUser,          // free-form
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceRecord {
+  Time when = 0;
+  TraceKind kind = TraceKind::kUser;
+  std::int32_t a = -1;  // subsystem-defined (e.g. vCPU id)
+  std::int32_t b = -1;  // subsystem-defined (e.g. pCPU or task id)
+  const char* note = "";
+};
+
+/// Fixed-capacity ring of trace records.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  void set_capacity(std::size_t capacity);
+
+  void record(Time when, TraceKind kind, std::int32_t a, std::int32_t b,
+              const char* note = "");
+
+  /// Records in chronological order (oldest first).
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Count of records of a given kind currently retained.
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+
+  /// Human-readable dump (for failing-test diagnostics).
+  [[nodiscard]] std::string dump() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  // next write slot
+  bool wrapped_ = false;
+  std::vector<TraceRecord> ring_;
+};
+
+}  // namespace irs::sim

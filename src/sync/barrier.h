@@ -1,0 +1,51 @@
+// Group synchronisation barrier in blocking (pthread_barrier-like) and
+// spinning (OpenMP OMP_WAIT_POLICY=active-like) flavours.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/guest/sched_api.h"
+#include "src/sync/wait.h"
+
+namespace irs::sync {
+
+enum class BarrierKind : std::uint8_t { kBlocking, kSpinning };
+
+/// Outcome of Barrier::arrive.
+enum class BarrierResult : std::uint8_t {
+  kReleased,  // last arrival — everyone proceeds, including the caller
+  kBlocked,   // caller must block until the generation completes
+  kSpin,      // caller must busy-wait until the generation completes
+};
+
+class Barrier final : public SpinWaitable {
+ public:
+  Barrier(guest::SchedApi& api, int parties,
+          BarrierKind kind = BarrierKind::kBlocking,
+          std::string name = "barrier");
+
+  /// Arrive at the barrier.
+  BarrierResult arrive(guest::Task& t);
+
+  /// SpinWaitable: a spinning waiter resumed execution.
+  void poll(guest::Task& t) override;
+
+  [[nodiscard]] int parties() const { return parties_; }
+  [[nodiscard]] int arrived() const { return arrived_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] BarrierKind kind() const { return kind_; }
+
+ private:
+  guest::SchedApi& api_;
+  int parties_;
+  BarrierKind kind_;
+  std::string name_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::deque<guest::Task*> blocked_;  // blocking flavour
+  std::deque<guest::Task*> spinners_;  // spinning flavour
+};
+
+}  // namespace irs::sync

@@ -1,0 +1,33 @@
+#include "src/sync/condvar.h"
+
+#include <cassert>
+
+namespace irs::sync {
+
+void CondVar::wait(guest::Task& t, Mutex& m) {
+  assert(m.owner() == &t && "cond wait requires the mutex held");
+  m.unlock(t);
+  t.reacquire = &m;
+  waiters_.push_back(&t);
+}
+
+bool CondVar::signal() {
+  if (waiters_.empty()) return false;
+  guest::Task* w = waiters_.front();
+  waiters_.pop_front();
+  api_.wake_task(*w);
+  return true;
+}
+
+int CondVar::broadcast() {
+  int n = 0;
+  std::deque<guest::Task*> to_wake;
+  to_wake.swap(waiters_);
+  for (guest::Task* w : to_wake) {
+    api_.wake_task(*w);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace irs::sync

@@ -1,0 +1,41 @@
+// Condition variable paired with a blocking Mutex (pthread_cond-style).
+//
+// wait() releases the mutex and queues the task; signal()/broadcast() wake
+// waiters, which then reacquire the mutex (possibly blocking again) before
+// their next action — the guest CPU interpreter drives the reacquire via
+// Task::reacquire.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "src/guest/sched_api.h"
+#include "src/sync/mutex.h"
+#include "src/sync/wait.h"
+
+namespace irs::sync {
+
+class CondVar {
+ public:
+  explicit CondVar(guest::SchedApi& api, std::string name = "cond")
+      : api_(api), name_(std::move(name)) {}
+
+  /// Release `m` (owned by `t`) and queue `t`. Caller blocks the task and
+  /// sets t.reacquire = &m so it re-locks on wake-up.
+  void wait(guest::Task& t, Mutex& m);
+
+  /// Wake the head waiter. Returns false if none was queued.
+  bool signal();
+
+  /// Wake all waiters. Returns how many were woken.
+  int broadcast();
+
+  [[nodiscard]] std::size_t n_waiters() const { return waiters_.size(); }
+
+ private:
+  guest::SchedApi& api_;
+  std::string name_;
+  std::deque<guest::Task*> waiters_;
+};
+
+}  // namespace irs::sync

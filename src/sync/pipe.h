@@ -1,0 +1,51 @@
+// Bounded single-item-type queue for pipeline-parallel workloads
+// (dedup/ferret-style stages): producers block when full, consumers block
+// when empty.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/guest/sched_api.h"
+#include "src/sync/wait.h"
+
+namespace irs::sync {
+
+class Pipe {
+ public:
+  Pipe(guest::SchedApi& api, int capacity, std::string name = "pipe");
+
+  /// Producer side. On kBlocked the task sleeps until a slot frees; its
+  /// item is considered inserted at wake-up time.
+  AcquireResult push(guest::Task& t);
+
+  /// Consumer side. On kBlocked the task sleeps until an item arrives; the
+  /// item is considered handed over at wake-up time.
+  AcquireResult pop(guest::Task& t);
+
+  /// Close the pipe: blocked and future consumers are released immediately
+  /// (pop returns kAcquired; callers check closed() to stop looping).
+  void close();
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t blocked_producers() const {
+    return producers_.size();
+  }
+  [[nodiscard]] std::size_t blocked_consumers() const {
+    return consumers_.size();
+  }
+
+ private:
+  guest::SchedApi& api_;
+  int capacity_;
+  std::string name_;
+  int size_ = 0;
+  bool closed_ = false;
+  std::deque<guest::Task*> producers_;
+  std::deque<guest::Task*> consumers_;
+};
+
+}  // namespace irs::sync

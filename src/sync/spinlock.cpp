@@ -1,0 +1,59 @@
+#include "src/sync/spinlock.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace irs::sync {
+
+SpinResult SpinLock::lock(guest::Task& t) {
+  if (owner_ == nullptr && waiters_.empty()) {
+    owner_ = &t;
+    ++t.locks_held;
+    return SpinResult::kAcquired;
+  }
+  waiters_.push_back(&t);
+  return SpinResult::kSpin;
+}
+
+void SpinLock::grant(guest::Task& t) {
+  assert(owner_ == nullptr);
+  auto it = std::find(waiters_.begin(), waiters_.end(), &t);
+  if (it == waiters_.end()) return;  // raced with another grant path
+  waiters_.erase(it);
+  owner_ = &t;
+  ++t.locks_held;
+  api_.spin_granted(t);
+}
+
+void SpinLock::unlock(guest::Task& t) {
+  assert(owner_ == &t && "unlock by non-owner");
+  --t.locks_held;
+  owner_ = nullptr;
+  if (waiters_.empty()) return;
+  if (kind_ == SpinKind::kTicket) {
+    // Strict FIFO: only the head waiter may take the lock. If its vCPU is
+    // preempted, nobody gets the lock until that vCPU runs again (LWP).
+    guest::Task* head = waiters_.front();
+    if (api_.task_executing(*head)) grant(*head);
+  } else {
+    // Opportunistic: the earliest waiter whose loop is actually executing
+    // wins the race.
+    for (guest::Task* w : waiters_) {
+      if (api_.task_executing(*w)) {
+        grant(*w);
+        return;
+      }
+    }
+  }
+}
+
+void SpinLock::poll(guest::Task& t) {
+  if (owner_ != nullptr) return;
+  if (kind_ == SpinKind::kTicket) {
+    if (!waiters_.empty() && waiters_.front() == &t) grant(t);
+  } else {
+    grant(t);
+  }
+}
+
+}  // namespace irs::sync

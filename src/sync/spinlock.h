@@ -1,0 +1,55 @@
+// Spin locks: busy-waiting waiters burn CPU until they observe the release.
+//
+// Two grant disciplines:
+//  * kTicket — FIFO, like Linux paravirt ticket spinlocks. Only the
+//    next-in-line waiter may take the lock; if its vCPU is preempted the
+//    lock stays logically free but unclaimable — the classic LWP stall.
+//  * kOpportunistic — any waiter that is actually executing may grab a
+//    released lock (test-and-set semantics); preempted waiters simply miss
+//    their chance, so LWP is milder.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/guest/sched_api.h"
+#include "src/sync/wait.h"
+
+namespace irs::sync {
+
+enum class SpinKind : std::uint8_t { kTicket, kOpportunistic };
+
+class SpinLock final : public SpinWaitable {
+ public:
+  explicit SpinLock(guest::SchedApi& api, SpinKind kind = SpinKind::kTicket,
+                    std::string name = "spinlock")
+      : api_(api), kind_(kind), name_(std::move(name)) {}
+
+  /// Try to acquire for `t`; on kSpin the caller must busy-wait the task
+  /// (set spin_waiting etc. — done by the guest CPU interpreter).
+  SpinResult lock(guest::Task& t);
+
+  /// Release; may immediately grant to an executing waiter.
+  void unlock(guest::Task& t);
+
+  /// SpinWaitable: a waiter's spin loop resumed execution; grant if its
+  /// turn has come.
+  void poll(guest::Task& t) override;
+
+  [[nodiscard]] guest::Task* owner() const { return owner_; }
+  [[nodiscard]] std::size_t n_waiters() const { return waiters_.size(); }
+  [[nodiscard]] SpinKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void grant(guest::Task& t);
+
+  guest::SchedApi& api_;
+  SpinKind kind_;
+  std::string name_;
+  guest::Task* owner_ = nullptr;
+  std::deque<guest::Task*> waiters_;  // FIFO arrival order
+};
+
+}  // namespace irs::sync

@@ -1,0 +1,11 @@
+#include "src/sync/sync_context.h"
+
+namespace irs::sync {
+
+sim::Duration SyncContext::total_mutex_wait() const {
+  sim::Duration total = 0;
+  for (const auto& m : mutexes_) total += m->total_wait();
+  return total;
+}
+
+}  // namespace irs::sync

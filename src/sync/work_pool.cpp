@@ -1,0 +1,3 @@
+#include "src/sync/work_pool.h"
+
+// Header-only; this translation unit anchors the target in the build.

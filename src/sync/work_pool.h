@@ -1,0 +1,45 @@
+// User-level work-stealing pool, modelling raytrace's application-level
+// load balancing (paper §2.3): threads that finish early take work that
+// would otherwise sit with a slow (interfered) thread. Purely a data
+// structure — taking work never blocks, so a preempted thread holds at most
+// its current chunk.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/sim/time.h"
+
+namespace irs::sync {
+
+class WorkPool {
+ public:
+  WorkPool() = default;
+
+  /// Add one chunk of `work` compute time.
+  void add(sim::Duration work) { chunks_.push_back(work); }
+
+  /// Add `n` chunks of equal size.
+  void add_n(int n, sim::Duration work) {
+    for (int i = 0; i < n; ++i) add(work);
+  }
+
+  /// Take the next chunk (FIFO). Empty pool -> nullopt (thread is done).
+  std::optional<sim::Duration> take() {
+    if (chunks_.empty()) return std::nullopt;
+    const sim::Duration w = chunks_.front();
+    chunks_.pop_front();
+    ++taken_;
+    return w;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return chunks_.size(); }
+  [[nodiscard]] std::uint64_t taken() const { return taken_; }
+
+ private:
+  std::deque<sim::Duration> chunks_;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace irs::sync

@@ -1,0 +1,23 @@
+// The CPU-hog interference micro-benchmark (paper §5.1): n compute-bound
+// tasks with no synchronisation and near-zero memory footprint that never
+// finish.
+#pragma once
+
+#include "src/wl/behavior.h"
+#include "src/wl/workload.h"
+
+namespace irs::wl {
+
+class HogWorkload final : public Workload {
+ public:
+  explicit HogWorkload(int n_hogs, sim::Duration burst = sim::milliseconds(1))
+      : Workload("cpu-hog"), n_hogs_(n_hogs), burst_(burst) {}
+
+  void instantiate(guest::GuestKernel& k) override;
+
+ private:
+  int n_hogs_;
+  sim::Duration burst_;
+};
+
+}  // namespace irs::wl

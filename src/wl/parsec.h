@@ -1,0 +1,26 @@
+// PARSEC benchmark models (blocking synchronisation, pthreads — paper §5.1).
+//
+// Parameters are calibrated to the paper's descriptions: dedup/ferret are
+// 4-/5-stage pipelines with 4 threads per stage; raytrace load-balances at
+// user level; streamcluster/fluidanimate sync finely; swaptions/blackscholes
+// coarsely. Absolute work sizes are scaled for simulation (~1-2 s virtual
+// runtime standalone); only relative behaviour matters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/wl/spec.h"
+
+namespace irs::wl {
+
+/// All modelled PARSEC applications, in the paper's Figure 5 order.
+const std::vector<AppSpec>& parsec_specs();
+
+/// Names only (for sweep loops).
+std::vector<std::string> parsec_names();
+
+/// Look up one app by name; aborts on unknown names.
+AppSpec parsec_spec(const std::string& name);
+
+}  // namespace irs::wl

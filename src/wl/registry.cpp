@@ -1,0 +1,68 @@
+#include "src/wl/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/wl/hog.h"
+#include "src/wl/npb.h"
+#include "src/wl/parallel_workload.h"
+#include "src/wl/parsec.h"
+#include "src/wl/server.h"
+
+namespace irs::wl {
+
+namespace {
+
+bool is_parsec(const std::string& name) {
+  const auto names = parsec_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+bool is_npb(const std::string& name) {
+  const auto names = npb_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+AppSpec scaled(AppSpec s, double scale) {
+  s.work_per_thread = static_cast<sim::Duration>(
+      static_cast<double>(s.work_per_thread) * scale);
+  return s;
+}
+
+}  // namespace
+
+bool workload_exists(const std::string& name) {
+  return is_parsec(name) || is_npb(name) || name == "specjbb" ||
+         name == "ab" || name == "hog";
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadOptions& opts) {
+  if (is_parsec(name)) {
+    return std::make_unique<ParallelWorkload>(
+        scaled(parsec_spec(name), opts.work_scale), opts.n_threads,
+        opts.endless);
+  }
+  if (is_npb(name)) {
+    return std::make_unique<ParallelWorkload>(
+        scaled(npb_spec(name, opts.npb_spinning), opts.work_scale),
+        opts.n_threads, opts.endless);
+  }
+  if (name == "specjbb") {
+    return std::make_unique<JbbWorkload>(opts.n_threads,
+                                         opts.server_duration);
+  }
+  if (name == "ab") {
+    // ab's connection count is independent of vCPUs; the paper uses 512.
+    const int conns = opts.n_threads > 8 ? opts.n_threads : 512;
+    return std::make_unique<AbWorkload>(conns, opts.server_duration);
+  }
+  if (name == "hog") {
+    return std::make_unique<HogWorkload>(opts.n_threads);
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace irs::wl

@@ -1,0 +1,33 @@
+// Name-based workload factory used by the experiment runner, examples, and
+// benchmarks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/wl/workload.h"
+
+namespace irs::wl {
+
+/// Options for make_workload.
+struct WorkloadOptions {
+  int n_threads = 4;
+  /// Loop forever (background/interference role).
+  bool endless = false;
+  /// NPB wait policy: spinning (OMP_WAIT_POLICY=active) or blocking.
+  bool npb_spinning = true;
+  /// Multiply the spec's per-thread work (shrink/grow runs).
+  double work_scale = 1.0;
+  /// Server workloads: how long to serve.
+  sim::Duration server_duration = sim::seconds(3);
+};
+
+/// Create a workload by name. Accepts every PARSEC name, every NPB name
+/// ("BT".."UA"), "specjbb", "ab", and "hog". Aborts on unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadOptions& opts = {});
+
+/// True if `name` resolves.
+bool workload_exists(const std::string& name);
+
+}  // namespace irs::wl

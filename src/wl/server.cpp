@@ -1,0 +1,140 @@
+#include "src/wl/server.h"
+
+namespace irs::wl {
+
+// ---------------------------------------------------------------------------
+// SPECjbb-like worker
+// ---------------------------------------------------------------------------
+
+guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
+                                      sim::Rng& rng) {
+  (void)t;
+  for (;;) {
+    switch (step_) {
+      case 0:  // start a transaction
+        if (now >= shape_.end_time) return guest::Action::finish();
+        txn_start_ = now;
+        step_ = 1;
+        return guest::Action::compute(
+            rng.jittered(shape_.service_mean, 0.5));
+      case 1:  // main compute done; occasionally touch the shared structure
+        if (shape_.cs_every > 0 && ++txn_count_ % shape_.cs_every == 0) {
+          step_ = 2;
+          return guest::Action::lock(*shape_.mutex);
+        }
+        step_ = 4;
+        continue;
+      case 2:
+        step_ = 3;
+        return guest::Action::compute(rng.jittered(shape_.cs_len, 0.3));
+      case 3:
+        step_ = 4;
+        return guest::Action::unlock(*shape_.mutex);
+      case 4:  // transaction complete
+        shape_.latency->add(now - txn_start_);
+        if (shape_.progress != nullptr) *shape_.progress += 1.0;
+        step_ = 0;
+        continue;
+      default:
+        return guest::Action::finish();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ab-like worker
+// ---------------------------------------------------------------------------
+
+guest::Action AbWorkerBehavior::next(guest::Task& t, sim::Time now,
+                                     sim::Rng& rng) {
+  (void)t;
+  for (;;) {
+    switch (step_) {
+      case 0: {  // wait for the next request of this connection
+        if (now >= shape_.end_time) return guest::Action::finish();
+        const sim::Duration think = rng.exponential(shape_.think_mean);
+        arrival_ = now + think;
+        step_ = 1;
+        return guest::Action::sleep(std::max<sim::Duration>(1, think));
+      }
+      case 1:  // request arrived; service it
+        if (now >= shape_.end_time) return guest::Action::finish();
+        step_ = 2;
+        return guest::Action::compute(
+            rng.jittered(shape_.service_mean, 0.5));
+      case 2:  // response sent
+        shape_.latency->add(now - arrival_);
+        if (shape_.progress != nullptr) *shape_.progress += 1.0;
+        step_ = 0;
+        continue;
+      default:
+        return guest::Action::finish();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+JbbWorkload::JbbWorkload(int warehouses, sim::Duration run_for,
+                         sim::Duration txn_mean)
+    : Workload("specjbb"),
+      warehouses_(warehouses),
+      run_for_(run_for),
+      txn_mean_(txn_mean) {}
+
+void JbbWorkload::instantiate(guest::GuestKernel& k) {
+  sync_ = std::make_unique<sync::SyncContext>(k);
+  k.set_memory_intensity(1.0);
+  shape_ = std::make_unique<ServerShape>();
+  shape_->end_time = k.engine().now() + run_for_;
+  shape_->service_mean = txn_mean_;
+  // SPECjbb transactions touch shared warehouse structures under a lock
+  // often enough that a lock-holder freeze stalls every warehouse — the
+  // effect behind the paper's 46% latency improvement.
+  shape_->cs_len = sim::microseconds(80);
+  shape_->cs_every = 2;
+  shape_->mutex = &sync_->make_mutex("jbb.shared");
+  shape_->latency = &latency_;
+  shape_->progress = &progress_;
+  for (int i = 0; i < warehouses_; ++i) {
+    behaviors_.push_back(std::make_unique<JbbWorkerBehavior>(*shape_));
+    tasks_.push_back(&k.create_task("jbb.wh" + std::to_string(i),
+                                    *behaviors_.back(), i % k.n_cpus()));
+  }
+}
+
+double JbbWorkload::throughput() const {
+  return progress_ / sim::to_sec(run_for_);
+}
+
+AbWorkload::AbWorkload(int connections, sim::Duration run_for,
+                       sim::Duration service_mean, sim::Duration think_mean)
+    : Workload("ab"),
+      connections_(connections),
+      run_for_(run_for),
+      service_mean_(service_mean),
+      think_mean_(think_mean) {}
+
+void AbWorkload::instantiate(guest::GuestKernel& k) {
+  sync_ = std::make_unique<sync::SyncContext>(k);
+  k.set_memory_intensity(0.8);
+  shape_ = std::make_unique<ServerShape>();
+  shape_->end_time = k.engine().now() + run_for_;
+  shape_->service_mean = service_mean_;
+  shape_->think_mean = think_mean_;
+  shape_->latency = &latency_;
+  shape_->progress = &progress_;
+  for (int i = 0; i < connections_; ++i) {
+    behaviors_.push_back(std::make_unique<AbWorkerBehavior>(*shape_));
+    tasks_.push_back(&k.create_task("ab.c" + std::to_string(i),
+                                    *behaviors_.back(), i % k.n_cpus()));
+  }
+}
+
+double AbWorkload::throughput() const {
+  return progress_ / sim::to_sec(run_for_);
+}
+
+}  // namespace irs::wl

@@ -1,0 +1,88 @@
+// Multi-threaded server workload models (paper §5.3).
+//
+// * JbbWorkload — SPECjbb2005-like: `warehouses` worker threads, each a
+//   closed loop of transactions with a short shared critical section every
+//   few transactions; measures throughput and per-transaction latency.
+// * AbWorkload — Apache-bench-like: many concurrent connection threads
+//   (far more than vCPUs), each a closed loop of short requests with a
+//   small think time; measures throughput and tail latency.
+#pragma once
+
+#include <memory>
+
+#include "src/core/metrics.h"
+#include "src/wl/behavior.h"
+#include "src/wl/workload.h"
+
+namespace irs::wl {
+
+struct ServerShape {
+  sim::Time end_time = 0;
+  sim::Duration service_mean = 0;
+  sim::Duration think_mean = 0;       // ab only
+  sim::Duration cs_len = 0;           // jbb only
+  int cs_every = 0;                   // jbb: lock every N transactions
+  sync::Mutex* mutex = nullptr;       // jbb shared structure lock
+  core::Histogram* latency = nullptr;
+  double* progress = nullptr;         // completed requests/transactions
+};
+
+class JbbWorkerBehavior final : public guest::Behavior {
+ public:
+  explicit JbbWorkerBehavior(ServerShape& shape) : shape_(shape) {}
+  guest::Action next(guest::Task& t, sim::Time now, sim::Rng& rng) override;
+
+ private:
+  ServerShape& shape_;
+  int step_ = 0;
+  int txn_count_ = 0;
+  sim::Time txn_start_ = 0;
+};
+
+class AbWorkerBehavior final : public guest::Behavior {
+ public:
+  explicit AbWorkerBehavior(ServerShape& shape) : shape_(shape) {}
+  guest::Action next(guest::Task& t, sim::Time now, sim::Rng& rng) override;
+
+ private:
+  ServerShape& shape_;
+  int step_ = 0;
+  sim::Time arrival_ = 0;
+};
+
+class JbbWorkload final : public Workload {
+ public:
+  JbbWorkload(int warehouses, sim::Duration run_for,
+              sim::Duration txn_mean = sim::microseconds(400));
+  void instantiate(guest::GuestKernel& k) override;
+  [[nodiscard]] core::Histogram& latency() { return latency_; }
+  /// Transactions per simulated second.
+  [[nodiscard]] double throughput() const;
+
+ private:
+  int warehouses_;
+  sim::Duration run_for_;
+  sim::Duration txn_mean_;
+  core::Histogram latency_;
+  std::unique_ptr<ServerShape> shape_;
+};
+
+class AbWorkload final : public Workload {
+ public:
+  AbWorkload(int connections, sim::Duration run_for,
+             sim::Duration service_mean = sim::milliseconds(2),
+             sim::Duration think_mean = sim::milliseconds(2));
+  void instantiate(guest::GuestKernel& k) override;
+  [[nodiscard]] core::Histogram& latency() { return latency_; }
+  [[nodiscard]] double throughput() const;
+
+ private:
+  int connections_;
+  sim::Duration run_for_;
+  sim::Duration service_mean_;
+  sim::Duration think_mean_;
+  core::Histogram latency_;
+  std::unique_ptr<ServerShape> shape_;
+};
+
+}  // namespace irs::wl

@@ -1,0 +1,248 @@
+// Credit-scheduler behaviour tests, using guest-less VMs driven directly
+// through the scheduler API.
+#include <gtest/gtest.h>
+
+#include "src/hv/host.h"
+
+namespace irs::hv {
+namespace {
+
+class CreditTest : public ::testing::Test {
+ protected:
+  Host& make_host(int pcpus, HvConfig cfg = {}) {
+    host_ = std::make_unique<Host>(eng_, cfg, pcpus);
+    return *host_;
+  }
+
+  Vm& add_pinned_vm(const std::string& name, std::vector<PcpuId> pins) {
+    VmConfig cfg;
+    cfg.name = name;
+    cfg.n_vcpus = static_cast<int>(pins.size());
+    cfg.pin_map = std::move(pins);
+    return host_->add_vm(cfg);
+  }
+
+  sim::Engine eng_;
+  std::unique_ptr<Host> host_;
+};
+
+TEST_F(CreditTest, WakeSchedulesOnIdlePcpu) {
+  Host& h = make_host(1);
+  Vm& vm = add_pinned_vm("a", {0});
+  h.start();
+  h.sched().wake(vm.vcpu(0));
+  eng_.run_until(sim::milliseconds(1));
+  EXPECT_EQ(vm.vcpu(0).state(), VcpuState::kRunning);
+  EXPECT_EQ(vm.vcpu(0).pcpu(), 0);
+  EXPECT_EQ(h.pcpu(0).current(), &vm.vcpu(0));
+}
+
+TEST_F(CreditTest, SpuriousWakeIgnored) {
+  Host& h = make_host(1);
+  Vm& vm = add_pinned_vm("a", {0});
+  h.start();
+  h.sched().wake(vm.vcpu(0));
+  eng_.run_until(sim::milliseconds(1));
+  h.sched().wake(vm.vcpu(0));  // already running
+  eng_.run_until(sim::milliseconds(2));
+  EXPECT_EQ(vm.vcpu(0).state(), VcpuState::kRunning);
+}
+
+TEST_F(CreditTest, TwoVcpusOnOnePcpuRoundRobinFairly) {
+  Host& h = make_host(1);
+  Vm& a = add_pinned_vm("a", {0});
+  Vm& b = add_pinned_vm("b", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::seconds(3));
+  const auto ta = a.vcpu(0).time_running(eng_.now());
+  const auto tb = b.vcpu(0).time_running(eng_.now());
+  // Both should get ~50%, and the pCPU should never idle.
+  EXPECT_NEAR(sim::to_sec(ta), 1.5, 0.15);
+  EXPECT_NEAR(sim::to_sec(tb), 1.5, 0.15);
+  EXPECT_NEAR(sim::to_sec(ta + tb), 3.0, 0.01);
+}
+
+TEST_F(CreditTest, RotationHappensAtSliceGranularity) {
+  HvConfig cfg;
+  Host& h = make_host(1, cfg);
+  Vm& a = add_pinned_vm("a", {0});
+  Vm& b = add_pinned_vm("b", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::seconds(1));
+  // ~1s / 30ms slices -> roughly 33 context switches (plus wakeup churn).
+  const auto switches = h.sched_stats().context_switches;
+  EXPECT_GE(switches, 25u);
+  EXPECT_LE(switches, 80u);
+}
+
+TEST_F(CreditTest, WeightsSkewAllocation) {
+  HvConfig cfg;
+  Host& h = make_host(1, cfg);
+  VmConfig a_cfg;
+  a_cfg.name = "heavy";
+  a_cfg.n_vcpus = 1;
+  a_cfg.pin_map = {0};
+  a_cfg.weight = 512;
+  Vm& a = host_->add_vm(a_cfg);
+  VmConfig b_cfg = a_cfg;
+  b_cfg.name = "light";
+  b_cfg.weight = 256;
+  Vm& b = host_->add_vm(b_cfg);
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::seconds(6));
+  const double ta = sim::to_sec(a.vcpu(0).time_running(eng_.now()));
+  const double tb = sim::to_sec(b.vcpu(0).time_running(eng_.now()));
+  // 2:1 weights -> roughly 2:1 CPU time.
+  EXPECT_GT(ta / tb, 1.5);
+  EXPECT_LT(ta / tb, 2.7);
+}
+
+TEST_F(CreditTest, BlockedVcpuYieldsPcpu) {
+  Host& h = make_host(1);
+  Vm& a = add_pinned_vm("a", {0});
+  Vm& b = add_pinned_vm("b", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::milliseconds(1));
+  Vcpu* running = h.pcpu(0).current();
+  ASSERT_NE(running, nullptr);
+  h.sched().block(*running);
+  eng_.run_until(sim::milliseconds(2));
+  EXPECT_EQ(running->state(), VcpuState::kBlocked);
+  ASSERT_NE(h.pcpu(0).current(), nullptr);
+  EXPECT_NE(h.pcpu(0).current(), running);
+}
+
+TEST_F(CreditTest, BoostedWakePreemptsPromptly) {
+  Host& h = make_host(1);
+  Vm& hog = add_pinned_vm("hog", {0});
+  Vm& io = add_pinned_vm("io", {0});
+  h.start();
+  h.sched().wake(hog.vcpu(0));
+  // Run past the first tick so the hog's own wake-up BOOST has decayed
+  // back to a credit-derived priority.
+  eng_.run_until(sim::milliseconds(15));
+  ASSERT_EQ(hog.vcpu(0).state(), VcpuState::kRunning);
+  ASSERT_NE(hog.vcpu(0).prio(), CreditPrio::kBoost);
+  // io wakes mid-slice with credits -> BOOST -> preempts.
+  h.sched().wake(io.vcpu(0));
+  eng_.run_until(sim::milliseconds(16));
+  EXPECT_EQ(io.vcpu(0).state(), VcpuState::kRunning);
+  EXPECT_EQ(hog.vcpu(0).state(), VcpuState::kRunnable);
+  EXPECT_EQ(io.vcpu(0).prio(), CreditPrio::kBoost);
+}
+
+TEST_F(CreditTest, YieldRotatesToNextRunnable) {
+  Host& h = make_host(1);
+  Vm& a = add_pinned_vm("a", {0});
+  Vm& b = add_pinned_vm("b", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::milliseconds(1));
+  Vcpu* first = h.pcpu(0).current();
+  Vcpu* other = first == &a.vcpu(0) ? &b.vcpu(0) : &a.vcpu(0);
+  h.sched().yield(*first);
+  eng_.run_until(sim::milliseconds(2));
+  EXPECT_EQ(h.pcpu(0).current(), other);
+  EXPECT_EQ(first->state(), VcpuState::kRunnable);
+}
+
+TEST_F(CreditTest, ForcePreemptMovesCurrentToQueue) {
+  Host& h = make_host(1);
+  Vm& a = add_pinned_vm("a", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  eng_.run_until(sim::milliseconds(1));
+  h.sched().force_preempt(a.vcpu(0));
+  // With nobody else runnable the scheduler picks it right back.
+  eng_.run_until(sim::milliseconds(2));
+  EXPECT_EQ(a.vcpu(0).state(), VcpuState::kRunning);
+  EXPECT_GE(h.sched_stats().preemptions, 1u);
+}
+
+TEST_F(CreditTest, PinningConfinesVcpus) {
+  Host& h = make_host(2);
+  Vm& a = add_pinned_vm("a", {1});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  eng_.run_until(sim::seconds(1));
+  EXPECT_EQ(a.vcpu(0).pcpu(), 1);
+  EXPECT_NEAR(sim::to_sec(a.vcpu(0).time_running(eng_.now())), 1.0, 0.05);
+  EXPECT_TRUE(h.pcpu(0).idle());
+}
+
+TEST_F(CreditTest, UnpinnedVcpusSpreadAcrossPcpus) {
+  Host& h = make_host(2);
+  VmConfig cfg;
+  cfg.name = "wide";
+  cfg.n_vcpus = 2;
+  Vm& vm = host_->add_vm(cfg);
+  h.start();
+  h.sched().wake(vm.vcpu(0));
+  h.sched().wake(vm.vcpu(1));
+  eng_.run_until(sim::seconds(1));
+  // Both vCPUs should be running simultaneously on distinct pCPUs.
+  EXPECT_EQ(vm.vcpu(0).state(), VcpuState::kRunning);
+  EXPECT_EQ(vm.vcpu(1).state(), VcpuState::kRunning);
+  EXPECT_NE(vm.vcpu(0).pcpu(), vm.vcpu(1).pcpu());
+  // Nearly full utilisation for both.
+  EXPECT_GT(sim::to_sec(vm.vcpu(0).time_running(eng_.now())), 0.95);
+  EXPECT_GT(sim::to_sec(vm.vcpu(1).time_running(eng_.now())), 0.95);
+}
+
+TEST_F(CreditTest, IdlePcpuStealsQueuedWork) {
+  Host& h = make_host(2);
+  // Two single-vCPU VMs whose resident queue starts on pCPU 0.
+  VmConfig cfg;
+  cfg.name = "v";
+  cfg.n_vcpus = 1;
+  Vm& a = host_->add_vm(cfg);
+  Vm& b = host_->add_vm(cfg);
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::milliseconds(50));
+  // Work stealing / wake placement must end with both running in parallel.
+  EXPECT_EQ(a.vcpu(0).state(), VcpuState::kRunning);
+  EXPECT_EQ(b.vcpu(0).state(), VcpuState::kRunning);
+}
+
+TEST_F(CreditTest, FairShareWithThreeCompetitors) {
+  Host& h = make_host(1);
+  Vm& a = add_pinned_vm("a", {0});
+  Vm& b = add_pinned_vm("b", {0});
+  Vm& c = add_pinned_vm("c", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  h.sched().wake(c.vcpu(0));
+  eng_.run_until(sim::seconds(6));
+  for (Vm* vm : {&a, &b, &c}) {
+    EXPECT_NEAR(sim::to_sec(vm->vcpu(0).time_running(eng_.now())), 2.0, 0.35)
+        << vm->name();
+  }
+}
+
+TEST_F(CreditTest, RunnableTimeIsStealTime) {
+  Host& h = make_host(1);
+  Vm& a = add_pinned_vm("a", {0});
+  Vm& b = add_pinned_vm("b", {0});
+  h.start();
+  h.sched().wake(a.vcpu(0));
+  h.sched().wake(b.vcpu(0));
+  eng_.run_until(sim::seconds(2));
+  // Each waits while the other runs: steal ~ 1s each.
+  EXPECT_NEAR(sim::to_sec(a.vcpu(0).time_runnable(eng_.now())), 1.0, 0.2);
+  EXPECT_NEAR(sim::to_sec(b.vcpu(0).time_runnable(eng_.now())), 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace irs::hv

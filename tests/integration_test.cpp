@@ -1,0 +1,178 @@
+// Integration tests: the paper's headline effects must reproduce in the
+// simulator (shapes, not absolute numbers).
+#include <gtest/gtest.h>
+
+#include "src/exp/runner.h"
+#include "src/exp/scenarios.h"
+
+namespace irs::exp {
+namespace {
+
+ScenarioConfig quick(const std::string& fg, core::Strategy s,
+                     const std::string& bg = "hog", int n_inter = 1) {
+  ScenarioConfig cfg;
+  cfg.fg = fg;
+  cfg.strategy = s;
+  cfg.bg = bg;
+  cfg.n_inter = n_inter;
+  cfg.work_scale = 0.5;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(Integration, InterferenceSlowsBlockingApps) {
+  // Fig. 1a: blocking-sync apps slow down well beyond their fair-share
+  // loss (they lose ~12.5% of capacity but slow down by >40%).
+  const double slow = fig1a_slowdown("fluidanimate", 33);
+  EXPECT_GT(slow, 1.4);
+  EXPECT_LT(slow, 3.5);
+}
+
+TEST(Integration, WorkStealingAppIsResilient) {
+  // Fig. 1a: raytrace absorbs the interference via user-level balancing.
+  const double slow = fig1a_slowdown("raytrace", 33);
+  EXPECT_LT(slow, 1.35);
+}
+
+TEST(Integration, MigrationLatencyGrowsWithContention) {
+  // Fig. 1b: each co-located VM adds roughly a scheduling slice to the
+  // stop-migration latency.
+  const auto alone = fig1b_migration_latency(0, 12, 3);
+  const auto one = fig1b_migration_latency(1, 12, 3);
+  const auto two = fig1b_migration_latency(2, 12, 3);
+  const auto three = fig1b_migration_latency(3, 12, 3);
+  EXPECT_LT(alone.mean_ms, 2.0);
+  EXPECT_GT(one.mean_ms, 4.0);
+  EXPECT_GT(two.mean_ms, one.mean_ms * 1.3);
+  EXPECT_GT(three.mean_ms, two.mean_ms * 1.15);
+}
+
+TEST(Integration, BlockingAppUtilizationDropsUnderInterference) {
+  // Fig. 2: blocking-sync apps fall well short of their fair share.
+  const RunResult r =
+      run_scenario(quick("streamcluster", core::Strategy::kBaseline));
+  EXPECT_LT(r.fg_util_vs_fair, 0.8);
+}
+
+TEST(Integration, WorkStealUtilizationStaysNearFair) {
+  // Fig. 2: raytrace uses nearly its full share despite interference.
+  const RunResult r =
+      run_scenario(quick("raytrace", core::Strategy::kBaseline));
+  EXPECT_GT(r.fg_util_vs_fair, 0.9);
+}
+
+TEST(Integration, IrsImprovesBlockingWorkloads) {
+  const RunResult base =
+      run_scenario(quick("fluidanimate", core::Strategy::kBaseline));
+  const RunResult irs =
+      run_scenario(quick("fluidanimate", core::Strategy::kIrs));
+  // Paper Fig. 5: ~30-42% for heavy blocking sync at 1-inter.
+  EXPECT_GT(improvement_pct(base, irs), 15.0);
+  // IRS recovers most of the lost utilisation.
+  EXPECT_GT(irs.fg_util_vs_fair, base.fg_util_vs_fair + 0.1);
+}
+
+TEST(Integration, IrsImprovesSpinningWorkloads) {
+  const RunResult base = run_scenario(quick("UA", core::Strategy::kBaseline));
+  const RunResult irs = run_scenario(quick("UA", core::Strategy::kIrs));
+  EXPECT_GT(improvement_pct(base, irs), 3.0);
+}
+
+TEST(Integration, IrsNearNeutralForPipelineApps) {
+  // Paper: dedup/ferret have many ready threads per vCPU; plain Linux
+  // balancing already copes, IRS adds little.
+  const RunResult base =
+      run_scenario(quick("dedup", core::Strategy::kBaseline));
+  const RunResult irs = run_scenario(quick("dedup", core::Strategy::kIrs));
+  EXPECT_NEAR(improvement_pct(base, irs), 0.0, 10.0);
+}
+
+TEST(Integration, IrsNearNeutralForWorkStealApps) {
+  const RunResult base =
+      run_scenario(quick("raytrace", core::Strategy::kBaseline));
+  const RunResult irs = run_scenario(quick("raytrace", core::Strategy::kIrs));
+  EXPECT_NEAR(improvement_pct(base, irs), 0.0, 12.0);
+}
+
+TEST(Integration, LhpEventsDetectedForLockHeavyApps) {
+  ScenarioConfig cfg = quick("x264", core::Strategy::kBaseline, "hog", 2);
+  cfg.work_scale = 1.0;  // enough preemptions to land inside a CS
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.lhp, 0u);
+}
+
+TEST(Integration, IrsEliminatesLhp) {
+  // With IRS the holder is descheduled by the context switcher *before*
+  // the hypervisor preemption lands, so no LHP events are charged.
+  const RunResult r = run_scenario(quick("x264", core::Strategy::kIrs));
+  EXPECT_EQ(r.lhp, 0u);
+  EXPECT_GT(r.sa_sent, 0u);
+}
+
+TEST(Integration, RelaxedCoHurtsBlockingWorkloads) {
+  // Fine-grained blocking sync is the case the paper calls out: deceptive
+  // idleness counts as progress, so relaxed-co stops the wrong vCPUs.
+  const RunResult base =
+      run_scenario(quick("streamcluster", core::Strategy::kBaseline));
+  const RunResult co =
+      run_scenario(quick("streamcluster", core::Strategy::kRelaxedCo));
+  EXPECT_LT(improvement_pct(base, co), 0.0);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const ScenarioConfig cfg = quick("streamcluster", core::Strategy::kIrs);
+  const RunResult a = run_scenario(cfg);
+  const RunResult b = run_scenario(cfg);
+  EXPECT_EQ(a.fg_makespan, b.fg_makespan);
+  EXPECT_EQ(a.sa_sent, b.sa_sent);
+  EXPECT_EQ(a.lhp, b.lhp);
+  EXPECT_DOUBLE_EQ(a.bg_progress_rate, b.bg_progress_rate);
+}
+
+TEST(Integration, SeedChangesResults) {
+  ScenarioConfig cfg = quick("streamcluster", core::Strategy::kIrs);
+  const RunResult a = run_scenario(cfg);
+  cfg.seed = 99;
+  const RunResult b = run_scenario(cfg);
+  EXPECT_NE(a.fg_makespan, b.fg_makespan);
+}
+
+TEST(Integration, ServerLatencyImprovesUnderIrs) {
+  ScenarioConfig cfg = quick("specjbb", core::Strategy::kBaseline);
+  cfg.server_duration = sim::seconds(2);
+  const RunResult base = run_scenario(cfg);
+  cfg.strategy = core::Strategy::kIrs;
+  const RunResult irs = run_scenario(cfg);
+  // Paper Fig. 8: average transaction latency and throughput both improve
+  // (lock-holder freezes no longer stall the other warehouses).
+  EXPECT_LT(irs.lat_mean, base.lat_mean);
+  EXPECT_GT(irs.throughput, base.throughput);
+}
+
+TEST(Integration, WeightedSpeedupAboveParityForGoodCases) {
+  ScenarioConfig cfg = quick("streamcluster", core::Strategy::kBaseline,
+                             "fluidanimate", 2);
+  const RunResult base = run_scenario(cfg);
+  cfg.strategy = core::Strategy::kIrs;
+  const RunResult irs = run_scenario(cfg);
+  // Fig. 7: weighted speedup above 100% (parity) for sync-heavy fg.
+  EXPECT_GT(weighted_speedup_pct(base, irs), 100.0);
+}
+
+TEST(Integration, FourInterGainsAreSmallOrNegative) {
+  // Fig. 5/6: with every vCPU interfered, migration has nowhere good to
+  // go; gains shrink towards zero (possibly negative).
+  ScenarioConfig base_cfg = quick("streamcluster", core::Strategy::kBaseline,
+                                  "hog", 4);
+  const RunResult base = run_scenario(base_cfg);
+  base_cfg.strategy = core::Strategy::kIrs;
+  const RunResult irs = run_scenario(base_cfg);
+  EXPECT_LT(improvement_pct(base, irs), 25.0);
+}
+
+TEST(Integration, BenchSeedsRespectsEnv) {
+  EXPECT_GE(bench_seeds(), 1);
+}
+
+}  // namespace
+}  // namespace irs::exp

@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event engine.
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace irs::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_EQ(eng.queued(), 0u);
+  EXPECT_EQ(eng.dispatched(), 0u);
+}
+
+TEST(Engine, DispatchesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(milliseconds(3), [&] { order.push_back(3); });
+  eng.schedule(milliseconds(1), [&] { order.push_back(1); });
+  eng.schedule(milliseconds(2), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), milliseconds(3));
+}
+
+TEST(Engine, SameTimestampIsFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine eng;
+  eng.schedule(milliseconds(1), [] {});
+  eng.run();
+  bool fired = false;
+  eng.schedule(-milliseconds(5), [&] { fired = true; });
+  eng.run();
+  fired = false;
+  eng.schedule(-1, [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(eng.now(), milliseconds(1));
+}
+
+TEST(Engine, ScheduleAtPastClampsToNow) {
+  Engine eng;
+  eng.schedule(milliseconds(10), [] {});
+  eng.run();
+  Time fired_at = -1;
+  eng.schedule_at(milliseconds(2), [&] { fired_at = eng.now(); });
+  eng.run();
+  EXPECT_EQ(fired_at, milliseconds(10));
+}
+
+TEST(Engine, CancelPreventsDispatch) {
+  Engine eng;
+  bool fired = false;
+  EventHandle h = eng.schedule(milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine eng;
+  int count = 0;
+  EventHandle h = eng.schedule(milliseconds(1), [&] { ++count; });
+  eng.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or affect anything
+  eng.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    eng.schedule(milliseconds(i), [&] { ++fired; });
+  }
+  const auto n = eng.run_until(milliseconds(5));
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(eng.now(), milliseconds(5));
+  eng.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine eng;
+  eng.run_until(seconds(2));
+  EXPECT_EQ(eng.now(), seconds(2));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  std::vector<Time> times;
+  std::function<void()> chain = [&] {
+    times.push_back(eng.now());
+    if (times.size() < 5) eng.schedule(milliseconds(1), chain);
+  };
+  eng.schedule(0, chain);
+  eng.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(times[i], static_cast<Time>(i) * kMillisecond);
+  }
+}
+
+TEST(Engine, RunWhilePredicate) {
+  Engine eng;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) {
+    eng.schedule(i, [&] { ++count; });
+  }
+  const bool stopped = eng.run_while([&] { return count < 10; });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, RunWhileReturnsFalseWhenDrained) {
+  Engine eng;
+  eng.schedule(1, [] {});
+  const bool stopped = eng.run_while([] { return true; });
+  EXPECT_FALSE(stopped);
+}
+
+TEST(Engine, DispatchedCounterExcludesCancelled) {
+  Engine eng;
+  auto h1 = eng.schedule(1, [] {});
+  eng.schedule(2, [] {});
+  h1.cancel();
+  eng.run();
+  EXPECT_EQ(eng.dispatched(), 1u);
+}
+
+TEST(EngineTime, ConversionHelpers) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1000 * 1000);
+  EXPECT_EQ(seconds(1), 1000 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(30)), 30.0);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(26)), 26.0);
+  EXPECT_DOUBLE_EQ(to_sec(seconds(3)), 3.0);
+}
+
+}  // namespace
+}  // namespace irs::sim
