@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sa_overhead.dir/abl_sa_overhead.cpp.o"
+  "CMakeFiles/abl_sa_overhead.dir/abl_sa_overhead.cpp.o.d"
+  "abl_sa_overhead"
+  "abl_sa_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sa_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_parsec.dir/fig05_parsec.cpp.o"
+  "CMakeFiles/fig05_parsec.dir/fig05_parsec.cpp.o.d"
+  "fig05_parsec"
+  "fig05_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

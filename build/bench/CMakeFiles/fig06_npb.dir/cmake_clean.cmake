@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_npb.dir/fig06_npb.cpp.o"
+  "CMakeFiles/fig06_npb.dir/fig06_npb.cpp.o.d"
+  "fig06_npb"
+  "fig06_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_weighted_parsec.dir/fig07_weighted_parsec.cpp.o"
+  "CMakeFiles/fig07_weighted_parsec.dir/fig07_weighted_parsec.cpp.o.d"
+  "fig07_weighted_parsec"
+  "fig07_weighted_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_weighted_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_server.dir/fig08_server.cpp.o"
+  "CMakeFiles/fig08_server.dir/fig08_server.cpp.o.d"
+  "fig08_server"
+  "fig08_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_weighted_npb.dir/fig09_weighted_npb.cpp.o"
+  "CMakeFiles/fig09_weighted_npb.dir/fig09_weighted_npb.cpp.o.d"
+  "fig09_weighted_npb"
+  "fig09_weighted_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_weighted_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

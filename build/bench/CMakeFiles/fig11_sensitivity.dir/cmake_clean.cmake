@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sensitivity.dir/fig11_sensitivity.cpp.o"
+  "CMakeFiles/fig11_sensitivity.dir/fig11_sensitivity.cpp.o.d"
+  "fig11_sensitivity"
+  "fig11_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

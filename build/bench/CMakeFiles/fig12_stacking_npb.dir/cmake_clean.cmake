@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_stacking_npb.dir/fig12_stacking_npb.cpp.o"
+  "CMakeFiles/fig12_stacking_npb.dir/fig12_stacking_npb.cpp.o.d"
+  "fig12_stacking_npb"
+  "fig12_stacking_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stacking_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

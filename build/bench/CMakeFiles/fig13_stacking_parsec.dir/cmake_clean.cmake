@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_stacking_parsec.dir/fig13_stacking_parsec.cpp.o"
+  "CMakeFiles/fig13_stacking_parsec.dir/fig13_stacking_parsec.cpp.o.d"
+  "fig13_stacking_parsec"
+  "fig13_stacking_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stacking_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_latency.dir/server_latency.cpp.o"
+  "CMakeFiles/server_latency.dir/server_latency.cpp.o.d"
+  "server_latency"
+  "server_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

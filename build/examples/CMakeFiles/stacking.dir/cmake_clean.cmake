@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacking.dir/stacking.cpp.o"
+  "CMakeFiles/stacking.dir/stacking.cpp.o.d"
+  "stacking"
+  "stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

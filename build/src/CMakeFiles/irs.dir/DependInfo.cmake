@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/irs.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/irs.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/CMakeFiles/irs.dir/core/strategy.cpp.o" "gcc" "src/CMakeFiles/irs.dir/core/strategy.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/CMakeFiles/irs.dir/core/world.cpp.o" "gcc" "src/CMakeFiles/irs.dir/core/world.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/irs.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/irs.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/irs.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/irs.dir/exp/runner.cpp.o.d"
+  "/root/repo/src/exp/scenarios.cpp" "src/CMakeFiles/irs.dir/exp/scenarios.cpp.o" "gcc" "src/CMakeFiles/irs.dir/exp/scenarios.cpp.o.d"
+  "/root/repo/src/guest/cfs_runqueue.cpp" "src/CMakeFiles/irs.dir/guest/cfs_runqueue.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/cfs_runqueue.cpp.o.d"
+  "/root/repo/src/guest/context_switcher.cpp" "src/CMakeFiles/irs.dir/guest/context_switcher.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/context_switcher.cpp.o.d"
+  "/root/repo/src/guest/guest_cpu.cpp" "src/CMakeFiles/irs.dir/guest/guest_cpu.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/guest_cpu.cpp.o.d"
+  "/root/repo/src/guest/guest_kernel.cpp" "src/CMakeFiles/irs.dir/guest/guest_kernel.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/guest_kernel.cpp.o.d"
+  "/root/repo/src/guest/load_balancer.cpp" "src/CMakeFiles/irs.dir/guest/load_balancer.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/load_balancer.cpp.o.d"
+  "/root/repo/src/guest/migrator.cpp" "src/CMakeFiles/irs.dir/guest/migrator.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/migrator.cpp.o.d"
+  "/root/repo/src/guest/sa_receiver.cpp" "src/CMakeFiles/irs.dir/guest/sa_receiver.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/sa_receiver.cpp.o.d"
+  "/root/repo/src/guest/softirq.cpp" "src/CMakeFiles/irs.dir/guest/softirq.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/softirq.cpp.o.d"
+  "/root/repo/src/guest/steal_clock.cpp" "src/CMakeFiles/irs.dir/guest/steal_clock.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/steal_clock.cpp.o.d"
+  "/root/repo/src/guest/task.cpp" "src/CMakeFiles/irs.dir/guest/task.cpp.o" "gcc" "src/CMakeFiles/irs.dir/guest/task.cpp.o.d"
+  "/root/repo/src/hv/credit_scheduler.cpp" "src/CMakeFiles/irs.dir/hv/credit_scheduler.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/credit_scheduler.cpp.o.d"
+  "/root/repo/src/hv/delay_preempt.cpp" "src/CMakeFiles/irs.dir/hv/delay_preempt.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/delay_preempt.cpp.o.d"
+  "/root/repo/src/hv/event_channel.cpp" "src/CMakeFiles/irs.dir/hv/event_channel.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/event_channel.cpp.o.d"
+  "/root/repo/src/hv/host.cpp" "src/CMakeFiles/irs.dir/hv/host.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/host.cpp.o.d"
+  "/root/repo/src/hv/pcpu.cpp" "src/CMakeFiles/irs.dir/hv/pcpu.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/pcpu.cpp.o.d"
+  "/root/repo/src/hv/ple.cpp" "src/CMakeFiles/irs.dir/hv/ple.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/ple.cpp.o.d"
+  "/root/repo/src/hv/relaxed_co.cpp" "src/CMakeFiles/irs.dir/hv/relaxed_co.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/relaxed_co.cpp.o.d"
+  "/root/repo/src/hv/sa_sender.cpp" "src/CMakeFiles/irs.dir/hv/sa_sender.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/sa_sender.cpp.o.d"
+  "/root/repo/src/hv/vcpu.cpp" "src/CMakeFiles/irs.dir/hv/vcpu.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/vcpu.cpp.o.d"
+  "/root/repo/src/hv/vm.cpp" "src/CMakeFiles/irs.dir/hv/vm.cpp.o" "gcc" "src/CMakeFiles/irs.dir/hv/vm.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/irs.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/irs.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/irs.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sync/barrier.cpp" "src/CMakeFiles/irs.dir/sync/barrier.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/barrier.cpp.o.d"
+  "/root/repo/src/sync/condvar.cpp" "src/CMakeFiles/irs.dir/sync/condvar.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/condvar.cpp.o.d"
+  "/root/repo/src/sync/mutex.cpp" "src/CMakeFiles/irs.dir/sync/mutex.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/mutex.cpp.o.d"
+  "/root/repo/src/sync/pipe.cpp" "src/CMakeFiles/irs.dir/sync/pipe.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/pipe.cpp.o.d"
+  "/root/repo/src/sync/spinlock.cpp" "src/CMakeFiles/irs.dir/sync/spinlock.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/spinlock.cpp.o.d"
+  "/root/repo/src/sync/sync_context.cpp" "src/CMakeFiles/irs.dir/sync/sync_context.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/sync_context.cpp.o.d"
+  "/root/repo/src/sync/work_pool.cpp" "src/CMakeFiles/irs.dir/sync/work_pool.cpp.o" "gcc" "src/CMakeFiles/irs.dir/sync/work_pool.cpp.o.d"
+  "/root/repo/src/wl/behavior.cpp" "src/CMakeFiles/irs.dir/wl/behavior.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/behavior.cpp.o.d"
+  "/root/repo/src/wl/hog.cpp" "src/CMakeFiles/irs.dir/wl/hog.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/hog.cpp.o.d"
+  "/root/repo/src/wl/npb.cpp" "src/CMakeFiles/irs.dir/wl/npb.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/npb.cpp.o.d"
+  "/root/repo/src/wl/parallel_workload.cpp" "src/CMakeFiles/irs.dir/wl/parallel_workload.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/parallel_workload.cpp.o.d"
+  "/root/repo/src/wl/parsec.cpp" "src/CMakeFiles/irs.dir/wl/parsec.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/parsec.cpp.o.d"
+  "/root/repo/src/wl/registry.cpp" "src/CMakeFiles/irs.dir/wl/registry.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/registry.cpp.o.d"
+  "/root/repo/src/wl/server.cpp" "src/CMakeFiles/irs.dir/wl/server.cpp.o" "gcc" "src/CMakeFiles/irs.dir/wl/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/irs_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/guest_balance_test.cpp" "tests/CMakeFiles/irs_tests.dir/guest_balance_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/guest_balance_test.cpp.o.d"
+  "/root/repo/tests/guest_irs_test.cpp" "tests/CMakeFiles/irs_tests.dir/guest_irs_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/guest_irs_test.cpp.o.d"
+  "/root/repo/tests/guest_sched_test.cpp" "tests/CMakeFiles/irs_tests.dir/guest_sched_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/guest_sched_test.cpp.o.d"
+  "/root/repo/tests/hv_credit_test.cpp" "tests/CMakeFiles/irs_tests.dir/hv_credit_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/hv_credit_test.cpp.o.d"
+  "/root/repo/tests/hv_strategy_test.cpp" "tests/CMakeFiles/irs_tests.dir/hv_strategy_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/hv_strategy_test.cpp.o.d"
+  "/root/repo/tests/hv_unit_test.cpp" "tests/CMakeFiles/irs_tests.dir/hv_unit_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/hv_unit_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/irs_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/irs_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sim_engine_test.cpp" "tests/CMakeFiles/irs_tests.dir/sim_engine_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/sim_engine_test.cpp.o.d"
+  "/root/repo/tests/sim_rng_test.cpp" "tests/CMakeFiles/irs_tests.dir/sim_rng_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/sim_rng_test.cpp.o.d"
+  "/root/repo/tests/sim_trace_test.cpp" "tests/CMakeFiles/irs_tests.dir/sim_trace_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/sim_trace_test.cpp.o.d"
+  "/root/repo/tests/sync_test.cpp" "tests/CMakeFiles/irs_tests.dir/sync_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/wl_test.cpp" "tests/CMakeFiles/irs_tests.dir/wl_test.cpp.o" "gcc" "tests/CMakeFiles/irs_tests.dir/wl_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/irs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

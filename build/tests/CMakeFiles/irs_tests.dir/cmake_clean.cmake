@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/guest_balance_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/guest_balance_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/guest_irs_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/guest_irs_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/guest_sched_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/guest_sched_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/hv_credit_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/hv_credit_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/hv_strategy_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/hv_strategy_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/hv_unit_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/hv_unit_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/property_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/sim_engine_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/sim_engine_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/sim_rng_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/sim_rng_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/sim_trace_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/sim_trace_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/sync_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/sync_test.cpp.o.d"
+  "CMakeFiles/irs_tests.dir/wl_test.cpp.o"
+  "CMakeFiles/irs_tests.dir/wl_test.cpp.o.d"
+  "irs_tests"
+  "irs_tests.pdb"
+  "irs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
