@@ -14,53 +14,80 @@
 
 #include "bench/bench_util.h"
 
-int main() {
-  using namespace irs;
-  const int seeds = exp::bench_seeds();
+namespace {
 
-  exp::banner(std::cout,
-              "Extensions: improvement over vanilla Xen/Linux (1-inter)");
-  std::vector<std::string> headers = {"app", "Delay-Preempt", "IRS",
-                                      "IRS-Pull"};
-  exp::Table t(headers);
-  for (const char* app :
-       {"x264", "fluidanimate", "streamcluster", "blackscholes", "UA", "MG",
-        "EP", "raytrace"}) {
+using namespace irs;
+
+const std::vector<core::Strategy> kExtensions = {
+    core::Strategy::kDelayPreempt, core::Strategy::kIrs,
+    core::Strategy::kIrsPull};
+
+struct Row {
+  std::string app;
+  std::size_t base;
+  std::vector<std::size_t> per_strategy;
+};
+
+std::vector<Row> register_panel(bench::SweepGrid& grid,
+                                const std::vector<std::string>& apps,
+                                int n_inter, int seeds) {
+  std::vector<Row> rows;
+  for (const auto& app : apps) {
     bench::PanelOptions o;
     // Longer runs give the delay-preemption window enough preemption-in-CS
     // coincidences to matter.
     o.work_scale = 1.0;
-    const exp::RunResult base = exp::run_averaged(
-        bench::make_cfg(app, core::Strategy::kBaseline, 1, o), seeds);
-    std::vector<std::string> row = {app};
-    for (const auto s :
-         {core::Strategy::kDelayPreempt, core::Strategy::kIrs,
-          core::Strategy::kIrsPull}) {
-      const exp::RunResult r =
-          exp::run_averaged(bench::make_cfg(app, s, 1, o), seeds);
-      row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
+    Row row;
+    row.app = app;
+    row.base = grid.add(
+        bench::make_cfg(app, core::Strategy::kBaseline, n_inter, o), seeds);
+    for (const auto s : kExtensions) {
+      row.per_strategy.push_back(
+          grid.add(bench::make_cfg(app, s, n_inter, o), seeds));
     }
-    t.add_row(std::move(row));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_panel(const bench::SweepGrid& grid, const std::vector<Row>& rows,
+                 const std::vector<std::string>& headers) {
+  exp::Table t(headers);
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {r.app};
+    const exp::RunResult base = grid.avg(r.base);
+    for (const std::size_t cell : r.per_strategy) {
+      cells.push_back(exp::fmt_pct(exp::improvement_pct(base, grid.avg(cell))));
+    }
+    t.add_row(std::move(cells));
   }
   t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace irs;
+  const int seeds = exp::bench_seeds();
+  const std::vector<std::string> headers = {"app", "Delay-Preempt", "IRS",
+                                            "IRS-Pull"};
+
+  // Both panels share one sweep: register everything, run once, format.
+  bench::SweepGrid grid;
+  const auto panel1 = register_panel(
+      grid,
+      {"x264", "fluidanimate", "streamcluster", "blackscholes", "UA", "MG",
+       "EP", "raytrace"},
+      1, seeds);
+  const auto panel4 =
+      register_panel(grid, {"x264", "streamcluster", "UA"}, 4, seeds);
+  grid.run();
+
+  exp::banner(std::cout,
+              "Extensions: improvement over vanilla Xen/Linux (1-inter)");
+  print_panel(grid, panel1, headers);
 
   exp::banner(std::cout, "Extensions at 4-inter (everything contended)");
-  exp::Table t4(headers);
-  for (const char* app : {"x264", "streamcluster", "UA"}) {
-    bench::PanelOptions o;
-    o.work_scale = 1.0;
-    const exp::RunResult base = exp::run_averaged(
-        bench::make_cfg(app, core::Strategy::kBaseline, 4, o), seeds);
-    std::vector<std::string> row = {app};
-    for (const auto s :
-         {core::Strategy::kDelayPreempt, core::Strategy::kIrs,
-          core::Strategy::kIrsPull}) {
-      const exp::RunResult r =
-          exp::run_averaged(bench::make_cfg(app, s, 4, o), seeds);
-      row.push_back(exp::fmt_pct(exp::improvement_pct(base, r)));
-    }
-    t4.add_row(std::move(row));
-  }
-  t4.print(std::cout);
+  print_panel(grid, panel4, headers);
   return 0;
 }

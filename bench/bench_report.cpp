@@ -1,0 +1,161 @@
+// Machine-readable performance report for tracking the perf trajectory
+// across PRs. Emits BENCH_sweep.json (path overridable via argv[1]) with:
+//   * engine hot-path throughput: the schedule/cancel/dispatch churn
+//     microbench, in events/sec, plus the recorded seed-engine baseline
+//     (shared_ptr + std::function implementation) for the speedup ratio;
+//   * a fig05-sized sweep (PARSEC x {baseline,PLE,RelaxedCo,IRS} x
+//     {1,2,4}-inter x seeds) timed serially (1 job) and with the parallel
+//     sweep pool (IRS_BENCH_JOBS or 8), with a bit-identity check between
+//     the two result vectors.
+//
+// IRS_BENCH_FAST=1 shrinks the sweep for smoke runs.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/engine.h"
+#include "src/wl/parsec.h"
+
+namespace {
+
+using namespace irs;
+
+/// Seed-engine churn throughput, measured on the pre-pool implementation
+/// (commit b128b84, shared_ptr<bool> + std::function per event) with the
+/// same loop as measure_churn(), -O2, on this repo's reference container.
+/// Kept as the fixed "before" of the events/sec trajectory.
+constexpr double kSeedChurnEventsPerSec = 7.30e6;
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The hot-path microbench: every iteration schedules one event that
+/// fires and one that is cancelled, then dispatches. 3 engine operations
+/// per iteration.
+double measure_churn() {
+  sim::Engine eng;
+  std::uint64_t sink = 0;
+  constexpr int kIters = 2000000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    eng.schedule(1, [&] { ++sink; });
+    auto h = eng.schedule(1000, [&] { ++sink; });
+    h.cancel();
+    eng.run_until(eng.now() + 2);
+  }
+  eng.run_until(eng.now() + 10000);
+  const double sec = wall_seconds(t0);
+  if (sink != kIters) std::abort();  // keep the loop honest
+  return 3.0 * kIters / sec;
+}
+
+std::vector<exp::ScenarioConfig> fig05_grid(int seeds) {
+  const bool fast = std::getenv("IRS_BENCH_FAST") != nullptr;
+  std::vector<std::string> apps = wl::parsec_names();
+  std::vector<int> inter = {1, 2, 4};
+  if (fast) {
+    apps.resize(apps.size() < 3 ? apps.size() : 3);
+    inter = {1};
+  }
+  const std::vector<core::Strategy> strategies = {
+      core::Strategy::kBaseline, core::Strategy::kPle,
+      core::Strategy::kRelaxedCo, core::Strategy::kIrs};
+  std::vector<exp::ScenarioConfig> grid;
+  for (const auto& app : apps) {
+    for (const int n : inter) {
+      for (const auto s : strategies) {
+        bench::PanelOptions o;
+        for (const auto& cfg :
+             exp::seed_grid(bench::make_cfg(app, s, n, o), seeds)) {
+          grid.push_back(cfg);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+bool identical(const exp::RunResult& a, const exp::RunResult& b) {
+  return a.finished == b.finished && a.fg_makespan == b.fg_makespan &&
+         a.fg_util_vs_fair == b.fg_util_vs_fair &&
+         a.fg_efficiency == b.fg_efficiency &&
+         a.bg_progress_rate == b.bg_progress_rate &&
+         a.throughput == b.throughput && a.lat_mean == b.lat_mean &&
+         a.lat_p99 == b.lat_p99 && a.lhp == b.lhp && a.lwp == b.lwp &&
+         a.irs_migrations == b.irs_migrations && a.sa_sent == b.sa_sent &&
+         a.sa_acked == b.sa_acked && a.sa_delay_avg == b.sa_delay_avg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+
+  std::cerr << "[bench_report] engine churn microbench...\n";
+  const double churn = measure_churn();
+
+  const int seeds = exp::bench_seeds();
+  const auto grid = fig05_grid(seeds);
+  int jobs = 8;
+  if (const char* s = std::getenv("IRS_BENCH_JOBS")) {
+    const int n = std::atoi(s);
+    if (n > 0) jobs = n;
+  }
+
+  std::cerr << "[bench_report] fig05-sized sweep, " << grid.size()
+            << " runs, serial...\n";
+  const auto t_serial = std::chrono::steady_clock::now();
+  const auto serial = exp::run_sweep(grid, /*n_threads=*/1);
+  const double serial_sec = wall_seconds(t_serial);
+
+  std::cerr << "[bench_report] same sweep, " << jobs << " jobs...\n";
+  const auto t_par = std::chrono::steady_clock::now();
+  const auto parallel = exp::run_sweep(grid, jobs);
+  const double par_sec = wall_seconds(t_par);
+
+  bool bit_identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; bit_identical && i < serial.size(); ++i) {
+    bit_identical = identical(serial[i], parallel[i]);
+  }
+
+  std::ofstream out(out_path);
+  out.precision(6);
+  out << "{\n"
+      << "  \"engine_churn_events_per_sec\": " << churn << ",\n"
+      << "  \"seed_engine_churn_events_per_sec\": " << kSeedChurnEventsPerSec
+      << ",\n"
+      << "  \"churn_speedup_vs_seed\": " << churn / kSeedChurnEventsPerSec
+      << ",\n"
+      << "  \"sweep_runs\": " << grid.size() << ",\n"
+      << "  \"sweep_seeds_per_point\": " << seeds << ",\n"
+      << "  \"sweep_secs_serial\": " << serial_sec << ",\n"
+      << "  \"sweep_secs_parallel\": " << par_sec << ",\n"
+      << "  \"sweep_jobs\": " << jobs << ",\n"
+      << "  \"sweep_speedup\": " << serial_sec / par_sec << ",\n"
+      << "  \"sweep_bit_identical\": " << (bit_identical ? "true" : "false")
+      << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "\n"
+      << "}\n";
+  out.close();
+
+  std::cout << "churn: " << churn / 1e6 << "M events/s ("
+            << churn / kSeedChurnEventsPerSec << "x vs seed)\n"
+            << "sweep: " << serial_sec << "s serial vs " << par_sec << "s @ "
+            << jobs << " jobs (" << serial_sec / par_sec << "x), "
+            << (bit_identical ? "bit-identical" : "RESULTS DIVERGED!") << "\n";
+  if (out.fail()) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return bit_identical ? 0 : 1;
+}

@@ -16,28 +16,40 @@ int main() {
   exp::Table t({"app", "suite", "util/fair", "useful/fair"});
   const int seeds = exp::bench_seeds();
 
-  auto run_one = [&](const std::string& app, const char* suite,
+  bench::SweepGrid grid;
+  struct Entry {
+    std::string app;
+    const char* suite;
+    std::size_t cell;
+  };
+  std::vector<Entry> entries;
+  auto add_one = [&](const std::string& app, const char* suite,
                      bool npb_spinning) {
     bench::PanelOptions o;
     o.npb_spinning = npb_spinning;
-    exp::ScenarioConfig cfg =
-        bench::make_cfg(app, core::Strategy::kBaseline, 1, o);
-    const exp::RunResult r = exp::run_averaged(cfg, seeds);
-    return std::vector<std::string>{app, suite,
-                                    exp::fmt_f(r.fg_util_vs_fair, 2),
-                                    exp::fmt_f(r.fg_efficiency, 2)};
+    entries.push_back(
+        {app, suite,
+         grid.add(bench::make_cfg(app, core::Strategy::kBaseline, 1, o),
+                  seeds)});
   };
 
   for (const char* app :
        {"streamcluster", "canneal", "fluidanimate", "bodytrack", "x264",
         "facesim", "blackscholes"}) {
-    t.add_row(run_one(app, "PARSEC", false));
+    add_one(app, "PARSEC", false);
   }
   // Paper Fig. 2 runs NPB with the passive (blocking) wait policy.
   for (const char* app : {"BT", "CG", "MG", "FT", "SP", "UA"}) {
-    t.add_row(run_one(app, "NPB", false));
+    add_one(app, "NPB", false);
   }
-  t.add_row(run_one("raytrace", "PARSEC (work-steal)", false));
+  add_one("raytrace", "PARSEC (work-steal)", false);
+
+  grid.run();
+  for (const Entry& e : entries) {
+    const exp::RunResult r = grid.avg(e.cell);
+    t.add_row({e.app, e.suite, exp::fmt_f(r.fg_util_vs_fair, 2),
+               exp::fmt_f(r.fg_efficiency, 2)});
+  }
   t.print(std::cout);
   return 0;
 }

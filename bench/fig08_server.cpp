@@ -17,11 +17,17 @@ int main() {
   exp::Table lat({"workload", "metric", "1-inter", "2-inter", "3-inter",
                   "4-inter"});
 
-  for (const char* app : {"specjbb", "ab"}) {
-    std::vector<std::string> trow = {app};
-    std::vector<std::string> lrow_mean = {app, app == std::string("ab")
-                                                   ? "p99 latency"
-                                                   : "mean latency"};
+  // Register the full app x inter x {baseline, IRS} grid, run it in one
+  // parallel sweep, then format.
+  bench::SweepGrid grid;
+  struct Point {
+    std::size_t base;
+    std::size_t irs;
+  };
+  std::vector<std::vector<Point>> points;  // [app][inter-1]
+  const std::vector<std::string> apps = {"specjbb", "ab"};
+  for (const auto& app : apps) {
+    std::vector<Point> row;
     for (int n = 1; n <= 4; ++n) {
       bench::PanelOptions o;
       exp::ScenarioConfig base_cfg =
@@ -29,16 +35,28 @@ int main() {
       base_cfg.server_duration = sim::seconds(2);
       exp::ScenarioConfig irs_cfg = base_cfg;
       irs_cfg.strategy = core::Strategy::kIrs;
-      const exp::RunResult base = exp::run_averaged(base_cfg, seeds);
-      const exp::RunResult irs = exp::run_averaged(irs_cfg, seeds);
+      row.push_back(Point{grid.add(base_cfg, seeds), grid.add(irs_cfg, seeds)});
+    }
+    points.push_back(std::move(row));
+  }
+  grid.run();
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const std::string& app = apps[a];
+    std::vector<std::string> trow = {app};
+    std::vector<std::string> lrow_mean = {
+        app, app == "ab" ? "p99 latency" : "mean latency"};
+    for (const Point& p : points[a]) {
+      const exp::RunResult base = grid.avg(p.base);
+      const exp::RunResult irs = grid.avg(p.irs);
       trow.push_back(
           exp::fmt_pct(core::gain_pct(base.throughput, irs.throughput)));
       // The paper reports mean (new-order) latency for SPECjbb and tail
       // (99th percentile) latency for ab.
-      const double base_lat = static_cast<double>(
-          app == std::string("ab") ? base.lat_p99 : base.lat_mean);
-      const double irs_lat = static_cast<double>(
-          app == std::string("ab") ? irs.lat_p99 : irs.lat_mean);
+      const double base_lat =
+          static_cast<double>(app == "ab" ? base.lat_p99 : base.lat_mean);
+      const double irs_lat =
+          static_cast<double>(app == "ab" ? irs.lat_p99 : irs.lat_mean);
       lrow_mean.push_back(
           exp::fmt_pct(core::improvement_pct(base_lat, irs_lat)));
     }

@@ -22,19 +22,36 @@ void panel(const std::string& app, bool npb_spinning,
   for (const int n : levels) headers.push_back(std::to_string(n) + "-inter");
   exp::Table t(headers);
   const int seeds = exp::bench_seeds();
+
+  // Full bg x level x {baseline, IRS} grid in one sweep.
+  bench::SweepGrid grid;
+  struct Point {
+    std::size_t base;
+    std::size_t irs;
+  };
+  std::vector<std::vector<Point>> points;  // [bg][level]
   for (const auto& bg : bgs) {
-    std::vector<std::string> row = {"w/ " + bg};
+    std::vector<Point> row;
     for (const int n : levels) {
       bench::PanelOptions o;
       o.n_vcpus = 8;
       o.n_pcpus = 8;
       o.bg = bg;
       o.npb_spinning = npb_spinning;
-      const exp::RunResult base = exp::run_averaged(
-          bench::make_cfg(app, core::Strategy::kBaseline, n, o), seeds);
-      const exp::RunResult irs = exp::run_averaged(
-          bench::make_cfg(app, core::Strategy::kIrs, n, o), seeds);
-      row.push_back(exp::fmt_pct(exp::improvement_pct(base, irs)));
+      row.push_back(Point{
+          grid.add(bench::make_cfg(app, core::Strategy::kBaseline, n, o),
+                   seeds),
+          grid.add(bench::make_cfg(app, core::Strategy::kIrs, n, o), seeds)});
+    }
+    points.push_back(std::move(row));
+  }
+  grid.run();
+
+  for (std::size_t b = 0; b < bgs.size(); ++b) {
+    std::vector<std::string> row = {"w/ " + bgs[b]};
+    for (const Point& p : points[b]) {
+      row.push_back(
+          exp::fmt_pct(exp::improvement_pct(grid.avg(p.base), grid.avg(p.irs))));
     }
     t.add_row(std::move(row));
   }

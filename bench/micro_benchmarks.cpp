@@ -38,6 +38,44 @@ void BM_EngineCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancel);
 
+/// The combined hot-path churn BENCH_sweep.json tracks: each iteration
+/// schedules one event that fires and one that is cancelled, then
+/// dispatches — 3 engine operations. Exercises slot reuse, shell skipping,
+/// and inline callback storage together.
+void BM_EngineScheduleCancelDispatch(benchmark::State& state) {
+  sim::Engine eng;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    eng.schedule(1, [&] { ++sink; });
+    auto h = eng.schedule(1000, [&] { ++sink; });
+    h.cancel();
+    eng.run_until(eng.now() + 2);
+  }
+  eng.run_until(eng.now() + 10000);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(3 * state.iterations()));
+}
+BENCHMARK(BM_EngineScheduleCancelDispatch);
+
+/// Deep-queue behaviour: keep 512 events in flight so sift-up/down walks
+/// real heap depth (the slab keeps entries POD-sized; this is where the
+/// old std::function heap paid most).
+void BM_EngineDeepQueue(benchmark::State& state) {
+  sim::Engine eng;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 512; ++i) {
+    eng.schedule(i + 1, [&] { ++sink; });
+  }
+  for (auto _ : state) {
+    eng.schedule(513, [&] { ++sink; });  // refill behind the horizon
+    eng.run_until(eng.now() + 1);        // dispatch exactly the front event
+  }
+  eng.run();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineDeepQueue);
+
 void BM_RngU64(benchmark::State& state) {
   sim::Rng rng(42);
   std::uint64_t sink = 0;

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify line (see ROADMAP.md): configure, build, run the full test
+# suite. Any argument is forwarded to cmake configure (e.g. -DIRS_SANITIZE=thread).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j
+cd build && ctest --output-on-failure -j

@@ -8,6 +8,7 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   host_ = std::make_unique<hv::Host>(eng_, cfg_.hv, cfg_.n_pcpus);
   if (cfg_.trace_capacity > 0) {
     host_->trace().set_capacity(cfg_.trace_capacity);
+    eng_.set_trace(&host_->trace());
   }
   switch (cfg_.strategy) {
     case Strategy::kBaseline:

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/exp/sweep.h"
 #include "src/wl/registry.h"
 #include "src/wl/server.h"
 
@@ -102,39 +103,7 @@ RunResult run_scenario(const ScenarioConfig& cfg) {
 }
 
 RunResult run_averaged(ScenarioConfig cfg, int n_seeds) {
-  RunResult acc;
-  double makespan = 0, util = 0, eff = 0, bg_rate = 0, thr = 0;
-  double lat_mean = 0, lat_p99 = 0, sa_delay = 0;
-  for (int i = 0; i < n_seeds; ++i) {
-    cfg.seed = cfg.seed * 7919 + 13;
-    const RunResult r = run_scenario(cfg);
-    acc.finished = acc.finished || r.finished;
-    makespan += static_cast<double>(r.fg_makespan);
-    util += r.fg_util_vs_fair;
-    eff += r.fg_efficiency;
-    bg_rate += r.bg_progress_rate;
-    thr += r.throughput;
-    lat_mean += static_cast<double>(r.lat_mean);
-    lat_p99 += static_cast<double>(r.lat_p99);
-    sa_delay += static_cast<double>(r.sa_delay_avg);
-    acc.lhp += r.lhp;
-    acc.lwp += r.lwp;
-    acc.irs_migrations += r.irs_migrations;
-    acc.sa_sent += r.sa_sent;
-    acc.sa_acked += r.sa_acked;
-  }
-  const double n = n_seeds;
-  acc.fg_makespan = static_cast<sim::Duration>(makespan / n);
-  acc.fg_util_vs_fair = util / n;
-  acc.fg_efficiency = eff / n;
-  acc.bg_progress_rate = bg_rate / n;
-  acc.throughput = thr / n;
-  acc.lat_mean = static_cast<sim::Duration>(lat_mean / n);
-  acc.lat_p99 = static_cast<sim::Duration>(lat_p99 / n);
-  acc.sa_delay_avg = static_cast<sim::Duration>(sa_delay / n);
-  acc.lhp /= static_cast<std::uint64_t>(n_seeds);
-  acc.lwp /= static_cast<std::uint64_t>(n_seeds);
-  return acc;
+  return average_results(run_sweep(seed_grid(cfg, n_seeds)));
 }
 
 double improvement_pct(const RunResult& base, const RunResult& x) {

@@ -68,7 +68,10 @@ struct RunResult {
 /// Run one scenario.
 RunResult run_scenario(const ScenarioConfig& cfg);
 
-/// Average `n_seeds` runs with varied seeds (the paper averages 5 runs).
+/// Average `n_seeds` runs whose seeds are derive_seed(cfg.seed, i) (the
+/// paper averages 5 runs). Runs execute on the parallel sweep pool (see
+/// src/exp/sweep.h) and the result is bit-identical to averaging n_seeds
+/// serial run_scenario calls over the same derived seeds.
 RunResult run_averaged(ScenarioConfig cfg, int n_seeds);
 
 /// Makespan improvement of `x` over `base`, percent (Fig. 5/6 metric).

@@ -1,0 +1,116 @@
+// Small-buffer-optimised move-only callable for the event engine's hot
+// path. std::function heap-allocates for captures beyond ~2 pointers; every
+// event the simulator schedules captures a handful of pointers/values, so a
+// 64-byte inline buffer holds essentially all of them with zero heap
+// traffic. Oversized callables (rare, cold paths only) transparently fall
+// back to a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace irs::sim {
+
+/// Move-only `void()` callable with inline storage. Relocation (move) is
+/// destructive on the source, so moved-from InlineFns are empty.
+class InlineFn {
+ public:
+  /// Inline capacity. Sized so that every steady-state callback in the
+  /// simulator (lambdas capturing a few pointers, ids, and durations) stays
+  /// on the stack-side buffer; see SimCallbacksFitInline in the tests.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule() call site
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::kOps;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when callables of type `F` live in the inline buffer (no heap).
+  template <typename F>
+  [[nodiscard]] static constexpr bool stores_inline() {
+    return sizeof(F) <= kInlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, kill src
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr Ops kOps{invoke, relocate, destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& ptr(void* p) { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) F*(ptr(src));
+    }
+    static void destroy(void* p) { delete ptr(p); }
+    static constexpr Ops kOps{invoke, relocate, destroy};
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace irs::sim

@@ -1,6 +1,9 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "src/sim/trace.h"
 
 namespace irs::sim {
 
@@ -11,42 +14,101 @@ EventHandle Engine::schedule(Duration delay, Callback fn, const char* label) {
 
 EventHandle Engine::schedule_at(Time when, Callback fn, const char* label) {
   if (when < now_) when = now_;
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled, label});
-  return EventHandle{std::move(cancelled)};
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.label = label;
+  heap_.push_back(QEntry{when, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{this, slot, s.gen};
+}
+
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.label = "";
+  ++s.gen;  // invalidate every outstanding handle/heap entry (may wrap)
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Engine::cancel_event(std::uint32_t slot, std::uint32_t gen) {
+  if (!event_pending(slot, gen)) return;
+  release_slot(slot);
+  ++cancelled_shells_;  // the heap entry stays behind as a stale shell
+  if (cancelled_shells_ > heap_.size() / 2 && heap_.size() >= 64) compact();
+}
+
+void Engine::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const QEntry& e) {
+                               return slots_[e.slot].gen != e.gen;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_shells_ = 0;
+}
+
+void Engine::prune_top() {
+  while (!heap_.empty()) {
+    const QEntry& top = heap_.front();
+    if (slots_[top.slot].gen == top.gen) return;  // live
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    --cancelled_shells_;
+  }
 }
 
 bool Engine::dispatch_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the small fields and move the callback through a pop-then-run
-    // pattern: take a copy of the shared state, pop, then invoke.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;  // cancelled shell; skip silently
-    *ev.cancelled = true;         // mark fired so late cancel() is a no-op
-    now_ = ev.when;
-    ++dispatched_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  prune_top();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const QEntry e = heap_.back();
+  heap_.pop_back();
+  // Move the callback out and free the slot *before* invoking: the
+  // callback may itself schedule (reusing this slot) or cancel, and a
+  // handle to this event must already read !pending() while it runs.
+  Callback fn = std::move(slots_[e.slot].fn);
+  release_slot(e.slot);
+  now_ = e.when;
+  ++dispatched_;
+  fn();
+  return true;
 }
 
 std::uint64_t Engine::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (true) {
+    prune_top();
+    if (heap_.empty() || heap_.front().when > deadline) break;
     if (dispatch_one()) ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
 }
 
-std::uint64_t Engine::run(std::uint64_t max_events) {
-  std::uint64_t n = 0;
-  while (n < max_events && dispatch_one()) ++n;
-  assert(n < max_events && "event budget exhausted: runaway simulation?");
-  return n;
+Engine::RunOutcome Engine::run(std::uint64_t max_events) {
+  RunOutcome out;
+  while (out.dispatched < max_events && dispatch_one()) ++out.dispatched;
+  prune_top();
+  if (!heap_.empty()) {
+    out.budget_exhausted = true;
+    if (trace_ != nullptr) {
+      trace_->record(now_, TraceKind::kEngineStop, -1, -1,
+                     "event budget exhausted: runaway simulation?");
+    }
+  }
+  return out;
 }
 
 bool Engine::run_while(const std::function<bool()>& keep_going) {

@@ -19,6 +19,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kLwp: return "sync.lwp";
     case TraceKind::kPleExit: return "hv.ple";
     case TraceKind::kCoStop: return "hv.co-stop";
+    case TraceKind::kEngineStop: return "engine.stop";
     case TraceKind::kUser: return "user";
   }
   return "?";

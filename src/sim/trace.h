@@ -26,6 +26,7 @@ enum class TraceKind : std::uint8_t {
   kLwp,           // lock-waiter preemption detected
   kPleExit,       // pause-loop exit fired
   kCoStop,        // relaxed-co stopped a leading vCPU
+  kEngineStop,    // engine stopped dispatching (event budget exhausted)
   kUser,          // free-form
 };
 

@@ -3,9 +3,28 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
+#include "src/sim/trace.h"
+
 namespace irs::sim {
+
+/// Test-only backdoor into the event pool, used to fast-forward a slot's
+/// generation counter to the wraparound boundary (reaching it organically
+/// would take 2^32 schedules).
+struct EngineTestAccess {
+  static void set_slot_generation(Engine& eng, std::uint32_t slot,
+                                  std::uint32_t gen) {
+    eng.slots_.at(slot).gen = gen;
+  }
+  static std::uint32_t slot_generation(const Engine& eng,
+                                       std::uint32_t slot) {
+    return eng.slots_.at(slot).gen;
+  }
+};
+
 namespace {
 
 TEST(Engine, StartsAtTimeZero) {
@@ -148,6 +167,224 @@ TEST(Engine, DispatchedCounterExcludesCancelled) {
   h1.cancel();
   eng.run();
   EXPECT_EQ(eng.dispatched(), 1u);
+}
+
+// --- Event pool / generation-handle behaviour ---
+
+TEST(EnginePool, HandleHasThreeStates) {
+  Engine eng;
+  // State 1: detached (default-constructed).
+  EventHandle detached;
+  EXPECT_FALSE(detached.attached());
+  EXPECT_FALSE(detached.pending());
+
+  // State 2: pending.
+  EventHandle h = eng.schedule(milliseconds(1), [] {});
+  EXPECT_TRUE(h.attached());
+  EXPECT_TRUE(h.pending());
+
+  // State 3: spent via firing. Still attached, no longer pending.
+  eng.run();
+  EXPECT_TRUE(h.attached());
+  EXPECT_FALSE(h.pending());
+
+  // State 3 via cancellation is indistinguishable from firing.
+  EventHandle c = eng.schedule(milliseconds(1), [] {});
+  c.cancel();
+  EXPECT_TRUE(c.attached());
+  EXPECT_FALSE(c.pending());
+}
+
+TEST(EnginePool, SlotReusedAfterFire) {
+  Engine eng;
+  eng.schedule(1, [] {});
+  eng.run();
+  ASSERT_EQ(eng.pool_slots(), 1u);
+  // The freed slot is recycled instead of growing the pool.
+  eng.schedule(1, [] {});
+  EXPECT_EQ(eng.pool_slots(), 1u);
+  eng.run();
+  EXPECT_EQ(eng.pool_slots(), 1u);
+}
+
+TEST(EnginePool, SlotReusedAfterCancel) {
+  Engine eng;
+  EventHandle h = eng.schedule(1000, [] {});
+  ASSERT_EQ(eng.pool_slots(), 1u);
+  h.cancel();
+  EXPECT_EQ(eng.cancelled_shells(), 1u);
+  // New event reuses the cancelled slot; the old handle must not alias it.
+  EventHandle h2 = eng.schedule(2000, [] {});
+  EXPECT_EQ(eng.pool_slots(), 1u);
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(h2.pending());
+  h.cancel();  // stale handle: must not cancel the new event
+  EXPECT_TRUE(h2.pending());
+  int fired = 0;
+  eng.schedule(3000, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EnginePool, SteadyStateKeepsPoolFlat) {
+  Engine eng;
+  // A self-rescheduling ticker plus a cancel-heavy side channel: the pool
+  // must stay at its high-water mark, not grow with event count.
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 1000) eng.schedule(10, tick);
+  };
+  eng.schedule(0, tick);
+  eng.run();
+  EXPECT_EQ(ticks, 1000);
+  EXPECT_LE(eng.pool_slots(), 2u);
+}
+
+TEST(EnginePool, GenerationWraparoundIsSafe) {
+  Engine eng;
+  // Create slot 0 and free it, then fast-forward its generation counter to
+  // the wrap boundary.
+  eng.schedule(1, [] {});
+  eng.run();
+  EngineTestAccess::set_slot_generation(eng, 0, UINT32_MAX);
+
+  int fired = 0;
+  EventHandle old = eng.schedule(1, [&] { ++fired; });
+  EXPECT_TRUE(old.pending());
+  eng.run();  // firing bumps the generation: UINT32_MAX wraps to 0
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(EngineTestAccess::slot_generation(eng, 0), 0u);
+
+  // The slot is reused at generation 0; the spent handle (gen UINT32_MAX)
+  // must neither read as pending nor cancel the new occupant.
+  EventHandle fresh = eng.schedule(1, [&] { ++fired; });
+  EXPECT_FALSE(old.pending());
+  EXPECT_TRUE(fresh.pending());
+  old.cancel();
+  EXPECT_TRUE(fresh.pending());
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EnginePool, FifoTieBreakSurvivesCancelAndReuse) {
+  Engine eng;
+  std::vector<int> order;
+  auto push = [&](int v) { return [&order, v] { order.push_back(v); }; };
+  eng.schedule(milliseconds(1), push(0));
+  EventHandle b = eng.schedule(milliseconds(1), push(1));
+  eng.schedule(milliseconds(1), push(2));
+  b.cancel();
+  // Reuses b's slot but must still fire last (scheduling order, not slot
+  // order, breaks timestamp ties).
+  eng.schedule(milliseconds(1), push(3));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(EnginePool, CompactionDropsShellsNotLiveEvents) {
+  Engine eng;
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(eng.schedule(milliseconds(i + 1), [&] { ++fired; }));
+  }
+  ASSERT_EQ(eng.queued(), 100u);
+  // Cancel 60 of 100: once shells outnumber half the queue (at the 51st
+  // cancel) compaction sweeps them; the 9 cancels after that sit as shells
+  // because the shrunken queue is below the compaction floor.
+  for (int i = 0; i < 60; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(eng.queued(), 49u);
+  EXPECT_EQ(eng.cancelled_shells(), 9u);
+  eng.run();
+  EXPECT_EQ(fired, 40);
+  for (int i = 60; i < 100; ++i) {
+    EXPECT_FALSE(handles[static_cast<std::size_t>(i)].pending());
+  }
+}
+
+TEST(EnginePool, RunUntilSkipsShellsBeyondDeadline) {
+  Engine eng;
+  // A cancelled shell in front of the deadline must not let dispatch run
+  // past the deadline to the next live event.
+  EventHandle early = eng.schedule(milliseconds(1), [] {});
+  int fired = 0;
+  eng.schedule(milliseconds(10), [&] { ++fired; });
+  early.cancel();
+  eng.run_until(milliseconds(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(eng.now(), milliseconds(5));
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EnginePool, RunReportsBudgetExhaustion) {
+  Engine eng;
+  Trace trace(16);
+  eng.set_trace(&trace);
+  // Runaway self-rescheduling loop.
+  std::function<void()> forever = [&] { eng.schedule(1, forever); };
+  eng.schedule(0, forever);
+  const Engine::RunOutcome out = eng.run(/*max_events=*/10);
+  EXPECT_EQ(out.dispatched, 10u);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(trace.count(TraceKind::kEngineStop), 1u);
+
+  // A drained queue is a normal completion, not exhaustion — even when the
+  // count lands exactly on the budget.
+  Engine eng2;
+  eng2.schedule(1, [] {});
+  eng2.schedule(2, [] {});
+  const Engine::RunOutcome done = eng2.run(/*max_events=*/2);
+  EXPECT_EQ(done.dispatched, 2u);
+  EXPECT_FALSE(done.budget_exhausted);
+}
+
+// --- InlineFn (small-buffer callback) ---
+
+TEST(InlineFn, TypicalSimCallbacksFitInline) {
+  // Engine callbacks capture a few pointers/ids/durations; all of those
+  // shapes must stay in the inline buffer (zero heap in steady state).
+  struct FourPtrs {
+    void *a, *b, *c, *d;
+    void operator()() const {}
+  };
+  struct PtrsAndScalars {
+    void* self;
+    std::uint64_t id;
+    Time when;
+    Duration dur;
+    int cpu;
+    void operator()() const {}
+  };
+  static_assert(InlineFn::stores_inline<FourPtrs>());
+  static_assert(InlineFn::stores_inline<PtrsAndScalars>());
+}
+
+TEST(InlineFn, OversizedCallableFallsBackToHeapAndStillRuns) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes > kInlineBytes
+  big[0] = 7;
+  big[31] = 9;
+  std::uint64_t sum = 0;
+  auto fn = [big, &sum] { sum = big[0] + big[31]; };
+  static_assert(!InlineFn::stores_inline<decltype(fn)>());
+  Engine eng;
+  eng.schedule(1, fn);
+  eng.run();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineFn a([&] { ++calls; });
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  InlineFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
 }
 
 TEST(EngineTime, ConversionHelpers) {
