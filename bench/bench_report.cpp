@@ -6,20 +6,34 @@
 //   * a fig05-sized sweep (PARSEC x {baseline,PLE,RelaxedCo,IRS} x
 //     {1,2,4}-inter x seeds) timed serially (1 job) and with the parallel
 //     sweep pool (IRS_BENCH_JOBS or 8), with a bit-identity check between
-//     the two result vectors.
+//     the two result vectors (the parallel pass uses the streaming
+//     consumer, so in-order delivery is exercised too);
+//   * trace-pipeline overhead: ns/record for the direct ring vs the
+//     batched staging buffer, and wall time of a traced sweep at batch 1
+//     (the unbatched "before") vs the default batch.
+//
+// The batched ns/record metric is gated: if an existing report at the
+// output path shows a value and the new one is more than 2x worse, the
+// bench fails loudly (exit 1) so a trace-path regression cannot land
+// silently.
 //
 // IRS_BENCH_FAST=1 shrinks the sweep for smoke runs.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
+#include "src/sim/trace.h"
 #include "src/wl/parsec.h"
 
 namespace {
@@ -83,6 +97,57 @@ std::vector<exp::ScenarioConfig> fig05_grid(int seeds) {
   return grid;
 }
 
+/// ns per record into an enabled ring, either direct (`batch` 0) or through
+/// a staging TraceBuffer with the given batch size.
+double measure_trace_ns(std::size_t batch) {
+  sim::Trace trace(1 << 16);
+  constexpr int kRecords = 4000000;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (batch == 0) {
+    for (int i = 0; i < kRecords; ++i) {
+      trace.record(i, sim::TraceKind::kUser, i & 3, i & 7);
+    }
+  } else {
+    obs::TraceBuffer buf(&trace, batch);
+    for (int i = 0; i < kRecords; ++i) {
+      buf.record(i, sim::TraceKind::kUser, i & 3, i & 7);
+    }
+    buf.flush();
+  }
+  const double sec = wall_seconds(t0);
+  if (trace.total_recorded() != static_cast<std::uint64_t>(kRecords)) {
+    std::abort();
+  }
+  return sec / kRecords * 1e9;
+}
+
+/// Serial wall time of a sweep with the given trace settings (capacity 0 =
+/// tracing off).
+double measure_traced_sweep(std::vector<exp::ScenarioConfig> grid,
+                            std::size_t capacity, std::size_t batch) {
+  for (auto& cfg : grid) {
+    cfg.trace_capacity = capacity;
+    cfg.trace_batch = batch;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = exp::run_sweep(grid, /*n_threads=*/1);
+  if (results.size() != grid.size()) std::abort();
+  return wall_seconds(t0);
+}
+
+/// Extract "key": <number> from a previous report; NaN when absent.
+double read_metric(const std::string& path, const std::string& key) {
+  std::ifstream in(path);
+  if (!in) return std::nan("");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
 bool identical(const exp::RunResult& a, const exp::RunResult& b) {
   return a.finished == b.finished && a.fg_makespan == b.fg_makespan &&
          a.fg_util_vs_fair == b.fg_util_vs_fair &&
@@ -116,15 +181,49 @@ int main(int argc, char** argv) {
   const auto serial = exp::run_sweep(grid, /*n_threads=*/1);
   const double serial_sec = wall_seconds(t_serial);
 
-  std::cerr << "[bench_report] same sweep, " << jobs << " jobs...\n";
+  std::cerr << "[bench_report] same sweep, " << jobs
+            << " jobs, streaming consumer...\n";
+  std::size_t delivered = 0;
+  bool in_order = true;
   const auto t_par = std::chrono::steady_clock::now();
-  const auto parallel = exp::run_sweep(grid, jobs);
+  const auto parallel = exp::run_sweep(
+      grid,
+      [&](std::size_t i, const exp::RunResult&) {
+        in_order = in_order && i == delivered;
+        ++delivered;
+      },
+      jobs);
   const double par_sec = wall_seconds(t_par);
 
-  bool bit_identical = serial.size() == parallel.size();
+  bool bit_identical = serial.size() == parallel.size() &&
+                       delivered == grid.size() && in_order;
   for (std::size_t i = 0; bit_identical && i < serial.size(); ++i) {
     bit_identical = identical(serial[i], parallel[i]);
   }
+
+  std::cerr << "[bench_report] trace pipeline overhead...\n";
+  const double trace_direct_ns = measure_trace_ns(0);
+  const double trace_batched_ns = measure_trace_ns(obs::TraceBuffer::kDefaultBatch);
+  // A traced-sweep slice: batch 1 is the unbatched "before", default batch
+  // the "after"; the untraced run anchors the absolute overhead.
+  auto slice = grid;
+  const std::size_t kSliceRuns = 48;
+  if (slice.size() > kSliceRuns) slice.resize(kSliceRuns);
+  const double sweep_off_sec = measure_traced_sweep(slice, 0, 0);
+  const double sweep_batch1_sec = measure_traced_sweep(slice, 1 << 15, 1);
+  const double sweep_batched_sec = measure_traced_sweep(slice, 1 << 15, 0);
+  const double overhead_batch1_pct =
+      (sweep_batch1_sec / sweep_off_sec - 1.0) * 100.0;
+  const double overhead_batched_pct =
+      (sweep_batched_sec / sweep_off_sec - 1.0) * 100.0;
+
+  // Regression gate on the batched trace hot path, against the previous
+  // report at the same output path (if any).
+  const double prev_batched_ns =
+      read_metric(out_path, "trace_ns_per_record_batched");
+  const bool trace_regressed =
+      !std::isnan(prev_batched_ns) &&
+      trace_batched_ns > 2.0 * std::max(prev_batched_ns, 1.0);
 
   std::ofstream out(out_path);
   out.precision(6);
@@ -142,6 +241,14 @@ int main(int argc, char** argv) {
       << "  \"sweep_speedup\": " << serial_sec / par_sec << ",\n"
       << "  \"sweep_bit_identical\": " << (bit_identical ? "true" : "false")
       << ",\n"
+      << "  \"trace_ns_per_record_direct\": " << trace_direct_ns << ",\n"
+      << "  \"trace_ns_per_record_batched\": " << trace_batched_ns << ",\n"
+      << "  \"trace_batch_speedup\": " << trace_direct_ns / trace_batched_ns
+      << ",\n"
+      << "  \"traced_sweep_overhead_batch1_pct\": " << overhead_batch1_pct
+      << ",\n"
+      << "  \"traced_sweep_overhead_batched_pct\": " << overhead_batched_pct
+      << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
       << "}\n";
@@ -151,11 +258,22 @@ int main(int argc, char** argv) {
             << churn / kSeedChurnEventsPerSec << "x vs seed)\n"
             << "sweep: " << serial_sec << "s serial vs " << par_sec << "s @ "
             << jobs << " jobs (" << serial_sec / par_sec << "x), "
-            << (bit_identical ? "bit-identical" : "RESULTS DIVERGED!") << "\n";
+            << (bit_identical ? "bit-identical" : "RESULTS DIVERGED!") << "\n"
+            << "trace: " << trace_direct_ns << "ns/rec direct vs "
+            << trace_batched_ns << "ns/rec batched ("
+            << trace_direct_ns / trace_batched_ns << "x); traced sweep +"
+            << overhead_batch1_pct << "% at batch 1, +" << overhead_batched_pct
+            << "% batched\n";
   if (out.fail()) {
     std::cerr << "error: could not write " << out_path << "\n";
     return 2;
   }
   std::cout << "wrote " << out_path << "\n";
+  if (trace_regressed) {
+    std::cerr << "FAIL: batched trace path regressed >2x ("
+              << prev_batched_ns << "ns/rec -> " << trace_batched_ns
+              << "ns/rec)\n";
+    return 1;
+  }
   return bit_identical ? 0 : 1;
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Memory-safety pass: build with AddressSanitizer in a separate build tree
+# and run the full unit suite plus the dedicated obs/trace job registered
+# under -DIRS_SANITIZE=address (the trace pipeline hands pointers between
+# staging buffers, the shared ring, and exporters — exactly the kind of
+# ownership bug ASan catches and TSan does not).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DIRS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j --target irs_tests
+cd build-asan && ctest --output-on-failure -j

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,16 +29,26 @@ class Histogram {
     return total / static_cast<std::int64_t>(samples_.size());
   }
 
-  /// Exact percentile, p in [0, 100].
-  [[nodiscard]] sim::Duration percentile(double p) {
+  /// Exact percentile, p in [0, 100]: linear interpolation between closest
+  /// ranks (the "C = 1" / numpy default convention), so e.g. the median of
+  /// {10, 20} is 15 rather than either sample.
+  [[nodiscard]] sim::Duration percentile(double p) const {
     if (samples_.empty()) return 0;
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
+    p = std::min(100.0, std::max(0.0, p));
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const auto idx = static_cast<std::size_t>(rank + 0.5);
-    return samples_[std::min(idx, samples_.size() - 1)];
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    const double below = static_cast<double>(samples_[lo]);
+    if (frac == 0.0 || lo + 1 >= samples_.size()) {
+      return samples_[lo];
+    }
+    const double above = static_cast<double>(samples_[lo + 1]);
+    return static_cast<sim::Duration>(
+        std::llround(below + frac * (above - below)));
   }
 
   [[nodiscard]] sim::Duration max() const {
@@ -51,8 +62,11 @@ class Histogram {
   }
 
  private:
-  std::vector<sim::Duration> samples_;
-  bool sorted_ = false;
+  // Sort-on-demand cache: percentile() is logically const (the sample
+  // multiset is unchanged), so the storage order and its validity flag are
+  // mutable.
+  mutable std::vector<sim::Duration> samples_;
+  mutable bool sorted_ = false;
 };
 
 /// Per-VM summary extracted from a finished run.

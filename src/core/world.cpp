@@ -10,6 +10,9 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
     host_->trace().set_capacity(cfg_.trace_capacity);
     eng_.set_trace(&host_->trace());
   }
+  if (cfg_.trace_batch > 0) {
+    host_->trace_buffer().set_batch(cfg_.trace_batch);
+  }
   switch (cfg_.strategy) {
     case Strategy::kBaseline:
       break;
@@ -61,6 +64,9 @@ hv::VmId World::add_vm(const hv::VmConfig& vm_cfg, bool irs_capable,
         host->note_lock_hint(*vmp, cpu, holds);
       });
   vm.set_guest(slot.kernel.get());
+  if (cfg_.trace_batch > 0) {
+    slot.kernel->trace_buf().set_batch(cfg_.trace_batch);
+  }
   slot.kernel->seed(cfg_.seed * 1000003ULL +
                     static_cast<std::uint64_t>(vm.id()) + 1);
   slots_.push_back(std::move(slot));

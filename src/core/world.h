@@ -25,6 +25,9 @@ struct WorldConfig {
   std::uint64_t seed = 1;
   /// >0 enables the trace ring with this capacity.
   std::size_t trace_capacity = 0;
+  /// >0 overrides the staging-buffer batch size of every trace producer
+  /// (hypervisor and guests); 0 keeps obs::TraceBuffer::kDefaultBatch.
+  std::size_t trace_batch = 0;
 };
 
 class World {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "src/obs/json.h"
+
 namespace irs::exp {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -65,6 +67,46 @@ std::string fmt_us(sim::Duration d) {
 
 void banner(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
+}
+
+namespace {
+
+void write_result(obs::JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.field("finished", r.finished);
+  w.field("fg_makespan_ns", static_cast<std::int64_t>(r.fg_makespan));
+  w.field("fg_util_vs_fair", r.fg_util_vs_fair);
+  w.field("fg_efficiency", r.fg_efficiency);
+  w.field("bg_progress_rate", r.bg_progress_rate);
+  w.field("throughput", r.throughput);
+  w.field("lat_mean_ns", static_cast<std::int64_t>(r.lat_mean));
+  w.field("lat_p99_ns", static_cast<std::int64_t>(r.lat_p99));
+  w.field("lhp", r.lhp);
+  w.field("lwp", r.lwp);
+  w.field("irs_migrations", r.irs_migrations);
+  w.field("sa_sent", r.sa_sent);
+  w.field("sa_acked", r.sa_acked);
+  w.field("sa_delay_avg_ns", static_cast<std::int64_t>(r.sa_delay_avg));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string result_json(const RunResult& r) {
+  obs::JsonWriter w;
+  write_result(w, r);
+  return w.str();
+}
+
+std::string sweep_json(const std::vector<RunResult>& rs) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("results");
+  w.begin_array();
+  for (const RunResult& r : rs) write_result(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace irs::exp

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exp/runner.h"
 #include "src/sim/time.h"
 
 namespace irs::exp {
@@ -34,5 +35,14 @@ std::string fmt_us(sim::Duration d);
 
 /// Print a figure banner ("=== Figure 5(a): ... ===").
 void banner(std::ostream& os, const std::string& title);
+
+/// Stable JSON rendering of a RunResult: one object, fixed key order,
+/// durations in nanoseconds as integers. The machine-readable sibling of
+/// the text tables — sweeps stream one object per run.
+std::string result_json(const RunResult& r);
+
+/// JSON for a whole sweep: {"results": [result_json...]} with the input
+/// order preserved.
+std::string sweep_json(const std::vector<RunResult>& rs);
 
 }  // namespace irs::exp

@@ -20,11 +20,18 @@ std::vector<hv::PcpuId> identity_pins(int n) {
 }  // namespace
 
 RunResult run_scenario(const ScenarioConfig& cfg) {
+  return run_scenario(cfg, nullptr);
+}
+
+RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   core::WorldConfig wc;
   wc.n_pcpus = cfg.n_pcpus;
   wc.strategy = cfg.strategy;
   wc.seed = cfg.seed;
   wc.hv = cfg.hv;
+  wc.trace_capacity = cfg.trace_capacity;
+  wc.trace_batch = cfg.trace_batch;
+  if (dump != nullptr && wc.trace_capacity == 0) wc.trace_capacity = 1 << 16;
   core::World world(wc);
 
   // Foreground VM.
@@ -99,6 +106,26 @@ RunResult run_scenario(const ScenarioConfig& cfg) {
   r.sa_delay_avg = completed > 0
                        ? st.sa_delay_total / static_cast<sim::Duration>(completed)
                        : 0;
+
+  if (dump != nullptr) {
+    sim::Trace& trace = world.host().trace();
+    dump->records = trace.snapshot();  // flushes all staging buffers
+    dump->meta = obs::TraceMeta{};
+    dump->meta.title = cfg.fg + (cfg.bg.empty() ? "" : "+" + cfg.bg) + " [" +
+                       core::strategy_name(cfg.strategy) + "]";
+    dump->meta.n_pcpus = cfg.n_pcpus;
+    for (int vm_i = 0; vm_i < world.host().n_vms(); ++vm_i) {
+      const hv::Vm& vm = world.host().vm(vm_i);
+      int idx = 0;
+      for (const hv::Vcpu* v : vm.vcpus()) {
+        dump->meta.vcpus.push_back(obs::VcpuInfo{v->id(), vm.name(), idx++});
+      }
+    }
+    dump->meta.start = world.started_at();
+    dump->meta.end = world.engine().now();
+    dump->meta.dropped = trace.dropped();
+    dump->meta.total_recorded = trace.total_recorded();
+  }
   return r;
 }
 

@@ -5,9 +5,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/strategy.h"
 #include "src/core/world.h"
+#include "src/obs/chrome_trace.h"
 
 namespace irs::exp {
 
@@ -43,6 +45,11 @@ struct ScenarioConfig {
   guest::GuestConfig fg_guest{};
   /// Hypervisor tunables (e.g. SA ack cap sweeps).
   hv::HvConfig hv{};
+
+  /// >0 enables the trace ring for this run (see WorldConfig).
+  std::size_t trace_capacity = 0;
+  /// >0 overrides the trace staging-buffer batch size (0 = default).
+  std::size_t trace_batch = 0;
 };
 
 /// Metrics extracted from one run.
@@ -65,8 +72,20 @@ struct RunResult {
   sim::Duration sa_delay_avg = 0;
 };
 
+/// A run's trace, captured for export: the snapshot (time-ordered, flushed)
+/// plus the topology/bookkeeping metadata the exporters need.
+struct TraceDump {
+  std::vector<sim::TraceRecord> records;
+  obs::TraceMeta meta;
+};
+
 /// Run one scenario.
 RunResult run_scenario(const ScenarioConfig& cfg);
+
+/// Run one scenario and capture its trace into `dump` (ignored when null).
+/// If cfg.trace_capacity is 0 a generous default capacity is used so the
+/// caller gets a usable timeline without tuning.
+RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump);
 
 /// Average `n_seeds` runs whose seeds are derive_seed(cfg.seed, i) (the
 /// paper averages 5 runs). Runs execute on the parallel sweep pool (see

@@ -119,6 +119,34 @@ std::vector<RunResult> run_sweep(const std::vector<ScenarioConfig>& cfgs,
   return results;
 }
 
+std::vector<RunResult> run_sweep(const std::vector<ScenarioConfig>& cfgs,
+                                 const SweepConsumer& consumer,
+                                 int n_threads) {
+  if (!consumer) return run_sweep(cfgs, n_threads);
+  std::vector<RunResult> results(cfgs.size());
+  // In-order delivery: a finished run is marked done, and whichever worker
+  // advances the cursor delivers every consecutive completed result under
+  // the mutex. Thread scheduling affects only *who* delivers, never the
+  // order or the content.
+  std::vector<char> done(cfgs.size(), 0);
+  std::size_t next = 0;
+  std::mutex mu;
+  parallel_for(
+      cfgs.size(),
+      [&](std::size_t i) {
+        RunResult r = run_scenario(cfgs[i]);
+        const std::lock_guard<std::mutex> lk(mu);
+        results[i] = r;
+        done[i] = 1;
+        while (next < cfgs.size() && done[next] != 0) {
+          const std::size_t k = next++;
+          consumer(k, results[k]);
+        }
+      },
+      n_threads);
+  return results;
+}
+
 std::vector<ScenarioConfig> seed_grid(const ScenarioConfig& cfg,
                                       int n_seeds) {
   std::vector<ScenarioConfig> grid;

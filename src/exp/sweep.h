@@ -40,6 +40,23 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
 std::vector<RunResult> run_sweep(const std::vector<ScenarioConfig>& cfgs,
                                  int n_threads = 0);
 
+/// Per-run callback for streaming sweeps: invoked once per run with the run
+/// index and its result. Calls arrive strictly in index order (0, 1, 2, …)
+/// regardless of the completion order on the pool — completed runs are
+/// buffered until every predecessor has been delivered, so a consumer that
+/// appends to a file or reports progress sees the same sequence the serial
+/// loop would produce. The callback runs on whichever worker thread
+/// completed the run that unblocked it; delivery is serialised, so the
+/// consumer needs no locking of its own, but it must not call back into the
+/// sweep machinery.
+using SweepConsumer = std::function<void(std::size_t, const RunResult&)>;
+
+/// run_sweep with incremental, in-order result delivery (progress meters,
+/// streaming JSON emission). Returns the same vector as the plain overload.
+std::vector<RunResult> run_sweep(const std::vector<ScenarioConfig>& cfgs,
+                                 const SweepConsumer& consumer,
+                                 int n_threads = 0);
+
 /// Expand one config into `n_seeds` configs whose seeds are
 /// derive_seed(cfg.seed, 0..n_seeds-1). The unit of averaging.
 std::vector<ScenarioConfig> seed_grid(const ScenarioConfig& cfg, int n_seeds);

@@ -16,7 +16,8 @@ GuestKernel::GuestKernel(sim::Engine& eng, GuestConfig cfg, int n_cpus,
       hc_(hc),
       spin_signal_(std::move(spin_signal)),
       lock_signal_(std::move(lock_signal)),
-      trace_(trace) {
+      trace_(trace),
+      counters_(static_cast<std::size_t>(n_cpus) + 1) {
   assert(n_cpus > 0);
   cpus_.reserve(static_cast<std::size_t>(n_cpus));
   for (int i = 0; i < n_cpus; ++i) {
@@ -27,6 +28,30 @@ GuestKernel::GuestKernel(sim::Engine& eng, GuestConfig cfg, int n_cpus,
 }
 
 GuestKernel::~GuestKernel() = default;
+
+const GuestStats& GuestKernel::stats() const {
+  stats_cache_.guest_ctx_switches =
+      counters_.fold_u(obs::Cnt::kGuestCtxSwitches);
+  stats_cache_.wake_migrations =
+      counters_.fold_u(obs::Cnt::kGuestWakeMigrations);
+  stats_cache_.push_migrations =
+      counters_.fold_u(obs::Cnt::kGuestPushMigrations);
+  stats_cache_.pull_migrations =
+      counters_.fold_u(obs::Cnt::kGuestPullMigrations);
+  stats_cache_.irs_migrations = counters_.fold_u(obs::Cnt::kGuestIrsMigrations);
+  stats_cache_.stop_migrations =
+      counters_.fold_u(obs::Cnt::kGuestStopMigrations);
+  stats_cache_.sa_received = counters_.fold_u(obs::Cnt::kGuestSaReceived);
+  stats_cache_.sa_replied_block =
+      counters_.fold_u(obs::Cnt::kGuestSaRepliedBlock);
+  stats_cache_.sa_replied_yield =
+      counters_.fold_u(obs::Cnt::kGuestSaRepliedYield);
+  stats_cache_.tag_preemptions =
+      counters_.fold_u(obs::Cnt::kGuestTagPreemptions);
+  stats_cache_.irs_pull_migrations =
+      counters_.fold_u(obs::Cnt::kGuestIrsPullMigrations);
+  return stats_cache_;
+}
 
 Task& GuestKernel::create_task(std::string name, Behavior& behavior,
                                int initial_cpu) {
@@ -100,11 +125,9 @@ void GuestKernel::wake_task(Task& t) {
   const int from = t.cpu();
   const int target = select_task_rq(t);
   if (target != from) {
-    note_migration(t, from, target, &GuestStats::wake_migrations);
+    note_migration(t, from, target, obs::Cnt::kGuestWakeMigrations);
   }
-  if (trace_ != nullptr) {
-    trace_->record(eng_.now(), sim::TraceKind::kGuestWake, t.id(), target);
-  }
+  tbuf_.record(eng_.now(), sim::TraceKind::kGuestWake, t.id(), target);
   cpu(target).enqueue_ready(t, /*wake_preempt=*/true);
 }
 
@@ -159,20 +182,17 @@ void GuestKernel::migrate_enqueue(Task& t, int from, int to,
   cpu(to).enqueue_ready(t, wake_preempt, /*normalize_vruntime=*/false);
 }
 
-void GuestKernel::note_migration(Task& t, int from, int to,
-                                 std::uint64_t GuestStats::*ctr) {
+void GuestKernel::note_migration(Task& t, int from, int to, obs::Cnt ctr) {
   if (from == to) return;
   ++t.stats.migrations;
-  ++(stats_.*ctr);
+  counters_.inc(guest_shard(to), ctr);
   t.cache_debt += migration_penalty();
-  if (ctr == &GuestStats::irs_migrations) {
+  if (ctr == obs::Cnt::kGuestIrsMigrations) {
     ++t.stats.irs_migrations;  // tag stays: the wake-up fix needs it
   } else {
     t.migrating_tag = false;  // a regular balancer move retires the tag
   }
-  if (trace_ != nullptr) {
-    trace_->record(eng_.now(), sim::TraceKind::kMigrate, t.id(), to);
-  }
+  tbuf_.record(eng_.now(), sim::TraceKind::kMigrate, t.id(), to);
 }
 
 void GuestKernel::kick_if_blocked(int c) {

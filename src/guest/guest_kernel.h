@@ -19,12 +19,21 @@
 #include "src/guest/types.h"
 #include "src/hv/guest_os.h"
 #include "src/hv/hypercalls.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
 #include "src/sim/trace.h"
 
 namespace irs::guest {
 
-/// Guest-wide counters.
+/// Shard convention for the guest-side obs::Counters: shard 0 is the
+/// kernel-global lane, shard cpu+1 is the guest CPU's own lane.
+inline std::size_t guest_shard(int cpu) {
+  return static_cast<std::size_t>(cpu) + 1;
+}
+
+/// Guest-wide counters: a report-time fold of the per-CPU obs::Counters
+/// shards (producers increment the sharded registry, never this struct).
 struct GuestStats {
   std::uint64_t guest_ctx_switches = 0;
   std::uint64_t wake_migrations = 0;   // wake-up balancing moved a task
@@ -89,7 +98,8 @@ class GuestKernel final : public hv::GuestOs, public SchedApi {
   /// Wake-up CPU selection incl. the IRS wake-up fix (paper Fig. 4).
   [[nodiscard]] int select_task_rq(Task& t);
   /// Account a cross-CPU migration: stats, cache debt, tag bookkeeping.
-  void note_migration(Task& t, int from, int to, std::uint64_t GuestStats::*ctr);
+  /// `ctr` names the migration-kind counter to bump (kGuest*Migrations).
+  void note_migration(Task& t, int from, int to, obs::Cnt ctr);
   /// Kick the vCPU behind `cpu` if the hypervisor reports it blocked.
   void kick_if_blocked(int cpu);
   /// True if any *other* vCPU is not hypervisor-blocked — i.e. someone will
@@ -116,12 +126,18 @@ class GuestKernel final : public hv::GuestOs, public SchedApi {
   [[nodiscard]] hv::Hypercalls& hypercalls() { return hc_; }
   [[nodiscard]] Migrator& migrator() { return *migrator_; }
   [[nodiscard]] LoadBalancer& balancer() { return *balancer_; }
-  [[nodiscard]] GuestStats& stats() { return stats_; }
-  [[nodiscard]] const GuestStats& stats() const { return stats_; }
+  /// Snapshot of the guest counters, folded across shards on demand.
+  [[nodiscard]] const GuestStats& stats() const;
+  /// The kernel's sharded counter registry (shard 0 global, shard cpu+1
+  /// per guest CPU — see guest_shard()).
+  [[nodiscard]] obs::Counters& counters() { return counters_; }
+  [[nodiscard]] const obs::Counters& counters() const { return counters_; }
+  /// The kernel's trace staging buffer (records are dropped when the host
+  /// trace is absent or disabled).
+  [[nodiscard]] obs::TraceBuffer& trace_buf() { return tbuf_; }
   [[nodiscard]] std::size_t n_tasks() const { return tasks_.size(); }
   [[nodiscard]] Task& task(std::size_t i) { return *tasks_.at(i); }
   [[nodiscard]] bool any_cpu_executing() const;
-  [[nodiscard]] sim::Trace* trace() { return trace_; }
 
   /// How much cache-locality debt a migration of `t` costs (scaled by the
   /// workload's memory intensity, set via set_memory_intensity()).
@@ -144,11 +160,13 @@ class GuestKernel final : public hv::GuestOs, public SchedApi {
   std::function<void(int, bool)> spin_signal_;
   std::function<void(int, bool)> lock_signal_;
   sim::Trace* trace_;
+  obs::Counters counters_;
+  obs::TraceBuffer tbuf_{trace_};  // after trace_: hook deregistration order
   std::vector<std::unique_ptr<GuestCpu>> cpus_;
   std::deque<std::unique_ptr<Task>> tasks_;
   std::unique_ptr<Migrator> migrator_;
   std::unique_ptr<LoadBalancer> balancer_;
-  GuestStats stats_;
+  mutable GuestStats stats_cache_;  // fold target for stats()
   std::function<void(Task&)> on_finished_;
   double memory_intensity_ = 1.0;
   sim::Rng task_seed_rng_{0xB0BACAFE};

@@ -42,8 +42,8 @@ bool LoadBalancer::move_one(GuestCpu& from, GuestCpu& to,
   ++(stats_.*ctr);
   kernel_.note_migration(*t, from.idx(), to.idx(),
                          ctr == &BalancerStats::tasks_pulled
-                             ? &GuestStats::pull_migrations
-                             : &GuestStats::push_migrations);
+                             ? obs::Cnt::kGuestPullMigrations
+                             : obs::Cnt::kGuestPushMigrations);
   kernel_.migrate_enqueue(*t, from.idx(), to.idx(), /*wake_preempt=*/false);
   return true;
 }
@@ -101,11 +101,12 @@ bool LoadBalancer::newidle(GuestCpu& me) {
       }
       guest::Task* t = peer.yank_current_if_preempted();
       if (t == nullptr) continue;
-      ++kernel_.stats().irs_pull_migrations;
+      kernel_.counters().inc(guest_shard(me.idx()),
+                             obs::Cnt::kGuestIrsPullMigrations);
       t->migrating_tag = true;
       t->tag_runtime = 0;
       t->irs_home = c;
-      kernel_.note_migration(*t, c, me.idx(), &GuestStats::irs_migrations);
+      kernel_.note_migration(*t, c, me.idx(), obs::Cnt::kGuestIrsMigrations);
       kernel_.enqueue_task(*t, me.idx(), /*wake_preempt=*/false);
       return true;
     }

@@ -8,8 +8,26 @@ namespace irs::hv {
 
 CreditScheduler::CreditScheduler(sim::Engine& eng, const HvConfig& cfg,
                                  std::vector<Pcpu>& pcpus,
-                                 std::vector<Vm*>& vms, sim::Trace& trace)
-    : eng_(eng), cfg_(cfg), pcpus_(pcpus), vms_(vms), trace_(trace) {}
+                                 std::vector<Vm*>& vms,
+                                 obs::Counters& counters,
+                                 obs::TraceBuffer& tbuf)
+    : eng_(eng),
+      cfg_(cfg),
+      pcpus_(pcpus),
+      vms_(vms),
+      counters_(counters),
+      tbuf_(tbuf) {}
+
+const SchedStats& CreditScheduler::stats() const {
+  stats_cache_.context_switches = counters_.fold_u(obs::Cnt::kHvCtxSwitches);
+  stats_cache_.preemptions = counters_.fold_u(obs::Cnt::kHvPreemptions);
+  stats_cache_.lhp_events = counters_.fold_u(obs::Cnt::kHvLhp);
+  stats_cache_.lwp_events = counters_.fold_u(obs::Cnt::kHvLwp);
+  stats_cache_.wakeups = counters_.fold_u(obs::Cnt::kHvWakeups);
+  stats_cache_.steals = counters_.fold_u(obs::Cnt::kHvSteals);
+  stats_cache_.migrations = counters_.fold_u(obs::Cnt::kHvMigrations);
+  return stats_cache_;
+}
 
 void CreditScheduler::start() {
   for (auto& p : pcpus_) {
@@ -68,7 +86,7 @@ PcpuId CreditScheduler::cpu_pick(const Vcpu& v) const {
 
 void CreditScheduler::wake(Vcpu& v) {
   if (v.state() != VcpuState::kBlocked) return;  // spurious kick
-  ++stats_.wakeups;
+  counters_.inc(cnt_shard(v), obs::Cnt::kHvWakeups);
   v.set_state(VcpuState::kRunnable, eng_.now());
   // credit1 BOOST: a waking vCPU that has not exhausted its credits gets
   // top priority so latency-sensitive guests run promptly.
@@ -76,10 +94,12 @@ void CreditScheduler::wake(Vcpu& v) {
     v.set_prio(CreditPrio::kBoost);
   }
   const PcpuId target = cpu_pick(v);
-  if (target != v.resident() && v.resident() != kNoPcpu) ++stats_.migrations;
+  if (target != v.resident() && v.resident() != kNoPcpu) {
+    counters_.inc(cnt_shard(v), obs::Cnt::kHvMigrations);
+  }
   Pcpu& p = pcpus_[target];
   p.enqueue(&v);
-  trace_.record(eng_.now(), sim::TraceKind::kHvWake, v.id(), target);
+  tbuf_.record(eng_.now(), sim::TraceKind::kHvWake, v.id(), target);
   // Tickle: preempt the current occupant if we beat its priority.
   if (p.idle() || (p.current() && prio_better(v, *p.current()))) {
     request_resched(p);
@@ -101,7 +121,7 @@ void CreditScheduler::block(Vcpu& v) {
   v.set_pcpu(kNoPcpu);
   p.set_current(nullptr);
   p.slice_timer.cancel();
-  trace_.record(eng_.now(), sim::TraceKind::kHvBlock, v.id(), p.id());
+  tbuf_.record(eng_.now(), sim::TraceKind::kHvBlock, v.id(), p.id());
   request_resched(p);
 }
 
@@ -136,14 +156,14 @@ void CreditScheduler::force_preempt(Vcpu& v) {
 void CreditScheduler::deschedule_current(Pcpu& p, StopReason reason) {
   Vcpu* cur = p.current();
   assert(cur != nullptr && cur->state() == VcpuState::kRunning);
-  ++stats_.preemptions;
+  counters_.inc(cnt_shard(*cur), obs::Cnt::kHvPreemptions);
   notify_stopped(*cur, reason);
   cur->set_state(VcpuState::kRunnable, eng_.now());
   cur->set_pcpu(kNoPcpu);
   p.set_current(nullptr);
   p.slice_timer.cancel();
   p.enqueue(cur);
-  trace_.record(eng_.now(), sim::TraceKind::kHvPreempt, cur->id(), p.id());
+  tbuf_.record(eng_.now(), sim::TraceKind::kHvPreempt, cur->id(), p.id());
 }
 
 void CreditScheduler::notify_stopped(Vcpu& v, StopReason reason) {
@@ -156,12 +176,12 @@ void CreditScheduler::notify_stopped(Vcpu& v, StopReason reason) {
   if (reason == StopReason::kPreempted && v.vm().has_guest()) {
     const PreemptClass pc = v.vm().guest().classify_preemption(v.idx());
     if (pc.holds_lock) {
-      ++stats_.lhp_events;
-      trace_.record(eng_.now(), sim::TraceKind::kLhp, v.id(), v.pcpu());
+      counters_.inc(cnt_shard(v), obs::Cnt::kHvLhp);
+      tbuf_.record(eng_.now(), sim::TraceKind::kLhp, v.id(), v.pcpu());
     }
     if (pc.waits_lock) {
-      ++stats_.lwp_events;
-      trace_.record(eng_.now(), sim::TraceKind::kLwp, v.id(), v.pcpu());
+      counters_.inc(cnt_shard(v), obs::Cnt::kHvLwp);
+      tbuf_.record(eng_.now(), sim::TraceKind::kLwp, v.id(), v.pcpu());
     }
   }
   v.guest_active = false;
@@ -173,13 +193,13 @@ void CreditScheduler::switch_to(Pcpu& p, Vcpu* next) {
     p.set_current(nullptr);
     return;
   }
-  ++stats_.context_switches;
+  counters_.inc(cnt_shard(*next), obs::Cnt::kHvCtxSwitches);
   next->set_state(VcpuState::kRunning, eng_.now());
   next->set_pcpu(p.id());
   next->set_resident(p.id());
   next->slice_start = eng_.now();
   p.set_current(next);
-  trace_.record(eng_.now(), sim::TraceKind::kHvSchedule, next->id(), p.id());
+  tbuf_.record(eng_.now(), sim::TraceKind::kHvSchedule, next->id(), p.id());
   // Slice-expiry timer.
   p.slice_timer.cancel();
   p.slice_timer = eng_.schedule(
@@ -218,9 +238,9 @@ Vcpu* CreditScheduler::steal_for(Pcpu& p) {
   }
   if (best != nullptr) {
     from->remove(best);
-    ++stats_.steals;
-    trace_.record(eng_.now(), sim::TraceKind::kHvSchedule, best->id(), p.id(),
-                  "steal");
+    counters_.inc(cnt_shard(*best), obs::Cnt::kHvSteals);
+    tbuf_.record(eng_.now(), sim::TraceKind::kHvSchedule, best->id(), p.id(),
+                 "steal");
   }
   return best;
 }

@@ -18,10 +18,17 @@
 #include "src/hv/types.h"
 #include "src/hv/vcpu.h"
 #include "src/hv/vm.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
-#include "src/sim/trace.h"
 
 namespace irs::hv {
+
+/// Shard convention for the hypervisor-side obs::Counters: shard 0 is the
+/// global lane, shard v.id()+1 is the vCPU's own lane.
+inline std::size_t cnt_shard(const Vcpu& v) {
+  return static_cast<std::size_t>(v.id()) + 1;
+}
 
 /// Installed by the IRS SA sender. Called when the scheduler is about to
 /// involuntarily preempt `cur`; returning true defers the preemption (the
@@ -36,6 +43,8 @@ class PreemptHook {
 };
 
 /// Scheduler event counters (exported through Host for metrics/tests).
+/// A report-time fold of the per-vCPU obs::Counters shards; producers
+/// increment the sharded registry, never this struct.
 struct SchedStats {
   std::uint64_t context_switches = 0;
   std::uint64_t preemptions = 0;  // involuntary deschedules
@@ -50,7 +59,7 @@ class CreditScheduler {
  public:
   CreditScheduler(sim::Engine& eng, const HvConfig& cfg,
                   std::vector<Pcpu>& pcpus, std::vector<Vm*>& vms,
-                  sim::Trace& trace);
+                  obs::Counters& counters, obs::TraceBuffer& tbuf);
 
   /// Arm the periodic tick and accounting timers. Call once.
   void start();
@@ -75,8 +84,8 @@ class CreditScheduler {
   /// Install the IRS pre-preemption hook (nullptr to remove).
   void set_preempt_hook(PreemptHook* hook) { hook_ = hook; }
 
-  [[nodiscard]] const SchedStats& stats() const { return stats_; }
-  SchedStats& stats_mutable() { return stats_; }
+  /// Snapshot of the scheduler counters, folded across shards on demand.
+  [[nodiscard]] const SchedStats& stats() const;
 
   /// Re-sort all runqueues after a global priority refresh.
   void rebuild_queues();
@@ -109,9 +118,10 @@ class CreditScheduler {
   const HvConfig& cfg_;
   std::vector<Pcpu>& pcpus_;
   std::vector<Vm*>& vms_;
-  sim::Trace& trace_;
+  obs::Counters& counters_;
+  obs::TraceBuffer& tbuf_;
   PreemptHook* hook_ = nullptr;
-  SchedStats stats_;
+  mutable SchedStats stats_cache_;  // fold target for stats()
 };
 
 }  // namespace irs::hv

@@ -11,16 +11,15 @@
 
 #include "src/hv/credit_scheduler.h"
 #include "src/hv/types.h"
+#include "src/obs/counters.h"
 #include "src/sim/engine.h"
 
 namespace irs::hv {
 
-struct StrategyStats;
-
 class DelayPreemptHook final : public PreemptHook {
  public:
   DelayPreemptHook(sim::Engine& eng, const HvConfig& cfg,
-                   CreditScheduler& sched, StrategyStats& stats);
+                   CreditScheduler& sched, obs::Counters& counters);
 
   /// PreemptHook: defer while the guest signals a held lock, up to the cap.
   bool delay_preemption(Vcpu& cur) override;
@@ -35,7 +34,7 @@ class DelayPreemptHook final : public PreemptHook {
   sim::Engine& eng_;
   const HvConfig& cfg_;
   CreditScheduler& sched_;
-  StrategyStats& stats_;
+  obs::Counters& counters_;
 };
 
 }  // namespace irs::hv

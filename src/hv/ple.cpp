@@ -6,13 +6,13 @@ namespace irs::hv {
 
 PleMonitor::PleMonitor(sim::Engine& eng, const HvConfig& cfg,
                        CreditScheduler& sched, std::vector<Pcpu>& pcpus,
-                       StrategyStats& stats, sim::Trace& trace)
+                       obs::Counters& counters, obs::TraceBuffer& tbuf)
     : eng_(eng),
       cfg_(cfg),
       sched_(sched),
       pcpus_(pcpus),
-      stats_(stats),
-      trace_(trace) {}
+      counters_(counters),
+      tbuf_(tbuf) {}
 
 void PleMonitor::on_spin_signal(Vcpu& v, bool spinning) {
   if (!spinning || v.state() != VcpuState::kRunning) {
@@ -38,8 +38,8 @@ void PleMonitor::fire(Vcpu& v) {
     arm(v);
     return;
   }
-  ++stats_.ple_exits;
-  trace_.record(eng_.now(), sim::TraceKind::kPleExit, v.id(), v.pcpu());
+  counters_.inc(cnt_shard(v), obs::Cnt::kPleExits);
+  tbuf_.record(eng_.now(), sim::TraceKind::kPleExit, v.id(), v.pcpu());
   // Charge the VM-exit cost, then let the scheduler pick someone else.
   Vcpu* vp = &v;
   eng_.schedule(

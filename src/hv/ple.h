@@ -11,18 +11,17 @@
 
 #include "src/hv/credit_scheduler.h"
 #include "src/hv/types.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
-#include "src/sim/trace.h"
 
 namespace irs::hv {
-
-struct StrategyStats;
 
 class PleMonitor {
  public:
   PleMonitor(sim::Engine& eng, const HvConfig& cfg, CreditScheduler& sched,
-             std::vector<Pcpu>& pcpus, StrategyStats& stats,
-             sim::Trace& trace);
+             std::vector<Pcpu>& pcpus, obs::Counters& counters,
+             obs::TraceBuffer& tbuf);
 
   /// Guest spin-state edge (also re-signalled when a spinning vCPU regains
   /// a pCPU, since preemption resets the hardware's continuity counter).
@@ -36,8 +35,8 @@ class PleMonitor {
   const HvConfig& cfg_;
   CreditScheduler& sched_;
   std::vector<Pcpu>& pcpus_;
-  StrategyStats& stats_;
-  sim::Trace& trace_;
+  obs::Counters& counters_;
+  obs::TraceBuffer& tbuf_;
 };
 
 }  // namespace irs::hv

@@ -10,14 +10,15 @@ RelaxedCoMonitor::RelaxedCoMonitor(sim::Engine& eng, const HvConfig& cfg,
                                    CreditScheduler& sched,
                                    std::vector<Pcpu>& pcpus,
                                    std::vector<Vm*>& vms,
-                                   StrategyStats& stats, sim::Trace& trace)
+                                   obs::Counters& counters,
+                                   obs::TraceBuffer& tbuf)
     : eng_(eng),
       cfg_(cfg),
       sched_(sched),
       pcpus_(pcpus),
       vms_(vms),
-      stats_(stats),
-      trace_(trace) {}
+      counters_(counters),
+      tbuf_(tbuf) {}
 
 void RelaxedCoMonitor::start() {
   eng_.schedule(cfg_.accounting_period, [this]() { on_period(); }, "hv.co");
@@ -75,8 +76,8 @@ void RelaxedCoMonitor::check_vm(Vm& vm) {
   if (leader == nullptr || laggard == nullptr || leader == laggard) return;
   if (lead_prog - lag_prog <= cfg_.co_skew_threshold) return;
 
-  ++stats_.co_stops;
-  trace_.record(now, sim::TraceKind::kCoStop, leader->id(), laggard->id());
+  counters_.inc(cnt_shard(*leader), obs::Cnt::kCoStops);
+  tbuf_.record(now, sim::TraceKind::kCoStop, leader->id(), laggard->id());
   const PcpuId freed =
       leader->state() == VcpuState::kRunning ? leader->pcpu() : kNoPcpu;
   leader->co_stopped = true;

@@ -14,19 +14,18 @@
 
 #include "src/hv/credit_scheduler.h"
 #include "src/hv/types.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
-#include "src/sim/trace.h"
 
 namespace irs::hv {
-
-struct StrategyStats;
 
 class RelaxedCoMonitor {
  public:
   RelaxedCoMonitor(sim::Engine& eng, const HvConfig& cfg,
                    CreditScheduler& sched, std::vector<Pcpu>& pcpus,
-                   std::vector<Vm*>& vms, StrategyStats& stats,
-                   sim::Trace& trace);
+                   std::vector<Vm*>& vms, obs::Counters& counters,
+                   obs::TraceBuffer& tbuf);
 
   /// Arm the periodic skew check. Call once.
   void start();
@@ -40,8 +39,8 @@ class RelaxedCoMonitor {
   CreditScheduler& sched_;
   std::vector<Pcpu>& pcpus_;
   std::vector<Vm*>& vms_;
-  StrategyStats& stats_;
-  sim::Trace& trace_;
+  obs::Counters& counters_;
+  obs::TraceBuffer& tbuf_;
 
   // progress_[vcpu global id] = cumulative run+blocked time at last period.
   std::vector<sim::Duration> last_snapshot_;

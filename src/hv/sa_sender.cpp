@@ -5,9 +5,9 @@
 namespace irs::hv {
 
 SaSender::SaSender(sim::Engine& eng, const HvConfig& cfg,
-                   CreditScheduler& sched, StrategyStats& stats,
-                   sim::Trace& trace)
-    : eng_(eng), cfg_(cfg), sched_(sched), stats_(stats), trace_(trace) {}
+                   CreditScheduler& sched, obs::Counters& counters,
+                   obs::TraceBuffer& tbuf)
+    : eng_(eng), cfg_(cfg), sched_(sched), counters_(counters), tbuf_(tbuf) {}
 
 bool SaSender::delay_preemption(Vcpu& cur) {
   // Algorithm 1, send_sa_event: only runnable (still willing to run) vCPUs
@@ -18,8 +18,8 @@ bool SaSender::delay_preemption(Vcpu& cur) {
 
   cur.set_sa_pending(true);
   cur.sa_sent_at = eng_.now();
-  ++stats_.sa_sent;
-  trace_.record(eng_.now(), sim::TraceKind::kSaSend, cur.id(), cur.pcpu());
+  counters_.inc(cnt_shard(cur), obs::Cnt::kSaSent);
+  tbuf_.record(eng_.now(), sim::TraceKind::kSaSend, cur.id(), cur.pcpu());
   cur.vm().guest().deliver_virq(cur.idx(), Virq::kSaUpcall);
 
   // Hard cap: a guest that never acknowledges loses the pCPU anyway.
@@ -29,8 +29,9 @@ bool SaSender::delay_preemption(Vcpu& cur) {
       [this, v]() {
         if (!v->sa_pending()) return;  // raced with a just-arrived ack
         v->set_sa_pending(false);
-        ++stats_.sa_forced;
-        stats_.sa_delay_total += eng_.now() - v->sa_sent_at;
+        counters_.inc(cnt_shard(*v), obs::Cnt::kSaForced);
+        counters_.inc(cnt_shard(*v), obs::Cnt::kSaDelayTotalNs,
+                      eng_.now() - v->sa_sent_at);
         sched_.force_preempt(*v);
       },
       "sa.cap");
@@ -38,9 +39,10 @@ bool SaSender::delay_preemption(Vcpu& cur) {
 }
 
 void SaSender::note_ack(Vcpu& v) {
-  ++stats_.sa_acked;
-  stats_.sa_delay_total += eng_.now() - v.sa_sent_at;
-  trace_.record(eng_.now(), sim::TraceKind::kSaAck, v.id(), v.pcpu());
+  counters_.inc(cnt_shard(v), obs::Cnt::kSaAcked);
+  counters_.inc(cnt_shard(v), obs::Cnt::kSaDelayTotalNs,
+                eng_.now() - v.sa_sent_at);
+  tbuf_.record(eng_.now(), sim::TraceKind::kSaAck, v.id(), v.pcpu());
 }
 
 }  // namespace irs::hv

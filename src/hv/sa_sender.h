@@ -9,17 +9,16 @@
 
 #include "src/hv/credit_scheduler.h"
 #include "src/hv/types.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
-#include "src/sim/trace.h"
 
 namespace irs::hv {
-
-struct StrategyStats;
 
 class SaSender final : public PreemptHook {
  public:
   SaSender(sim::Engine& eng, const HvConfig& cfg, CreditScheduler& sched,
-           StrategyStats& stats, sim::Trace& trace);
+           obs::Counters& counters, obs::TraceBuffer& tbuf);
 
   /// PreemptHook: returns true if preemption was deferred pending guest ack.
   bool delay_preemption(Vcpu& cur) override;
@@ -32,8 +31,8 @@ class SaSender final : public PreemptHook {
   sim::Engine& eng_;
   const HvConfig& cfg_;
   CreditScheduler& sched_;
-  StrategyStats& stats_;
-  sim::Trace& trace_;
+  obs::Counters& counters_;
+  obs::TraceBuffer& tbuf_;
 };
 
 }  // namespace irs::hv

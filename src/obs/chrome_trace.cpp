@@ -1,0 +1,182 @@
+#include "src/obs/chrome_trace.h"
+
+#include <map>
+
+#include "src/obs/json.h"
+
+namespace irs::obs {
+
+namespace {
+
+constexpr int kPidPcpus = 0;
+constexpr int kPidVcpus = 1;
+
+std::string vcpu_label(const TraceMeta& meta, int vcpu) {
+  for (const auto& v : meta.vcpus) {
+    if (v.id == vcpu) {
+      return v.vm + "/vcpu" + std::to_string(v.idx);
+    }
+  }
+  return "vcpu" + std::to_string(vcpu);
+}
+
+void meta_event(JsonWriter& w, const char* name, int pid, int tid,
+                const std::string& arg) {
+  w.begin_object()
+      .field("name", name)
+      .field("ph", "M")
+      .field("pid", pid)
+      .field("tid", tid)
+      .key("args")
+      .begin_object()
+      .field("name", arg)
+      .end_object()
+      .end_object();
+}
+
+void span_event(JsonWriter& w, const std::string& name, int pid, int tid,
+                sim::Time start, sim::Time end) {
+  w.begin_object()
+      .field("name", name)
+      .field("ph", "X")
+      .field("pid", pid)
+      .field("tid", tid)
+      .field("ts", sim::to_us(start))
+      .field("dur", sim::to_us(end - start))
+      .end_object();
+}
+
+void flow_event(JsonWriter& w, const char* ph, std::uint64_t id, int tid,
+                sim::Time when, bool binding_next) {
+  w.begin_object()
+      .field("name", "sa")
+      .field("cat", "sa")
+      .field("ph", ph)
+      .field("id", id)
+      .field("pid", kPidVcpus)
+      .field("tid", tid)
+      .field("ts", sim::to_us(when));
+  if (binding_next) w.field("bp", "e");
+  w.end_object();
+}
+
+void instant_event(JsonWriter& w, const std::string& name, int pid, int tid,
+                   sim::Time when, const char* scope, std::int32_t arg_task) {
+  w.begin_object()
+      .field("name", name)
+      .field("ph", "i")
+      .field("s", scope)
+      .field("pid", pid)
+      .field("tid", tid)
+      .field("ts", sim::to_us(when));
+  if (arg_task >= 0) {
+    w.key("args").begin_object().field("task", arg_task).end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
+                              const TraceMeta& meta) {
+  JsonWriter w;
+  w.begin_object()
+      .field("displayTimeUnit", "ms")
+      .field("otherData", meta.title)  // free-form run label
+      .key("traceEvents")
+      .begin_array();
+
+  meta_event(w, "process_name", kPidPcpus, 0, "pCPUs");
+  meta_event(w, "process_name", kPidVcpus, 0, "vCPUs");
+  for (int p = 0; p < meta.n_pcpus; ++p) {
+    meta_event(w, "thread_name", kPidPcpus, p, "pCPU " + std::to_string(p));
+  }
+  for (const auto& v : meta.vcpus) {
+    meta_event(w, "thread_name", kPidVcpus, v.id, vcpu_label(meta, v.id));
+  }
+
+  if (meta.dropped > 0) {
+    w.begin_object()
+        .field("name", "trace truncated")
+        .field("ph", "i")
+        .field("s", "g")
+        .field("pid", kPidPcpus)
+        .field("tid", 0)
+        .field("ts", sim::to_us(meta.start))
+        .key("args")
+        .begin_object()
+        .field("dropped", meta.dropped)
+        .field("total_recorded", meta.total_recorded)
+        .end_object()
+        .end_object();
+  }
+
+  // vCPU id -> (pcpu, on-cpu-since) for the currently open span.
+  std::map<int, std::pair<int, sim::Time>> on_cpu;
+  // vCPU id -> flow id of an SA send still awaiting its ack.
+  std::map<int, std::uint64_t> pending_sa;
+  std::uint64_t next_flow_id = 1;
+
+  auto close_span = [&](int vcpu, int pcpu, sim::Time start, sim::Time end) {
+    const std::string label = vcpu_label(meta, vcpu);
+    span_event(w, label, kPidPcpus, pcpu, start, end);
+    span_event(w, "on pCPU " + std::to_string(pcpu), kPidVcpus, vcpu, start,
+               end);
+  };
+
+  for (const auto& r : records) {
+    switch (r.kind) {
+      case sim::TraceKind::kHvSchedule: {
+        // A reschedule of an already-running vCPU closes its prior span.
+        auto it = on_cpu.find(r.a);
+        if (it != on_cpu.end()) {
+          close_span(r.a, it->second.first, it->second.second, r.when);
+        }
+        on_cpu[r.a] = {r.b, r.when};
+        break;
+      }
+      case sim::TraceKind::kHvPreempt:
+      case sim::TraceKind::kHvBlock: {
+        auto it = on_cpu.find(r.a);
+        if (it != on_cpu.end()) {
+          close_span(r.a, it->second.first, it->second.second, r.when);
+          on_cpu.erase(it);
+        }
+        break;
+      }
+      case sim::TraceKind::kSaSend: {
+        const std::uint64_t id = next_flow_id++;
+        pending_sa[r.a] = id;
+        flow_event(w, "s", id, r.a, r.when, /*binding_next=*/false);
+        break;
+      }
+      case sim::TraceKind::kSaAck: {
+        auto it = pending_sa.find(r.a);
+        if (it != pending_sa.end()) {
+          flow_event(w, "f", it->second, r.a, r.when, /*binding_next=*/true);
+          pending_sa.erase(it);
+        }
+        break;
+      }
+      case sim::TraceKind::kLhp:
+        instant_event(w, "LHP", kPidVcpus, r.a, r.when, "t", r.b);
+        break;
+      case sim::TraceKind::kLwp:
+        instant_event(w, "LWP", kPidVcpus, r.a, r.when, "t", r.b);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Close spans still open at the end of the trace (std::map iteration
+  // gives deterministic vCPU-id order).
+  for (const auto& [vcpu, span] : on_cpu) {
+    close_span(vcpu, span.first, span.second, meta.end);
+  }
+
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace irs::obs

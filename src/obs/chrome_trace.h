@@ -1,0 +1,44 @@
+// Chrome trace_event / Perfetto JSON exporter.
+//
+// Renders a run's trace as a timeline loadable in chrome://tracing or
+// ui.perfetto.dev:
+//   - one "pCPUs" process with a lane per pCPU, showing which vCPU is
+//     on-CPU as complete ("X") spans, opened at kHvSchedule and closed at
+//     the matching kHvPreempt/kHvBlock (or the trace end);
+//   - one "vCPUs" process mirroring the same spans per vCPU lane, where SA
+//     send→ack pairs render as flow ("s"/"f") arrows and LHP/LWP events as
+//     instants ("i");
+//   - a truncation metadata instant when the ring wrapped and dropped
+//     records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace irs::obs {
+
+/// Topology context the exporter needs but the raw records don't carry.
+struct VcpuInfo {
+  int id = 0;          // global vCPU id (TraceRecord::a in hv records)
+  std::string vm;      // owning VM name
+  int idx = 0;         // index within the VM
+};
+
+struct TraceMeta {
+  std::string title = "irs run";
+  int n_pcpus = 0;
+  std::vector<VcpuInfo> vcpus;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  std::uint64_t dropped = 0;         // Trace::dropped()
+  std::uint64_t total_recorded = 0;  // Trace::total_recorded()
+};
+
+/// Records must be in snapshot order (sorted by (when, seq)).
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
+                              const TraceMeta& meta);
+
+}  // namespace irs::obs

@@ -1,0 +1,3 @@
+#include "src/obs/counters.h"
+
+// Header-only registry; this translation unit anchors the target.

@@ -1,0 +1,111 @@
+// Sharded counter/stat registry — the single observability accumulator for
+// the whole stack.
+//
+// Model objects used to bump fields of shared structs (hv::SchedStats,
+// hv::StrategyStats, guest::GuestStats, a workload-wide progress double)
+// directly. Every producer now increments a named counter in its own
+// cache-line-padded shard — one shard per vCPU on the hypervisor side, per
+// guest CPU inside a kernel, per task inside a workload — and readers fold
+// the shards into the legacy report structs on demand. A future intra-run
+// parallel engine (or finer-grained sampling) therefore never serialises
+// producers on one cache line, and per-entity breakdowns come for free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+namespace irs::obs {
+
+/// Every named counter in the system. Grouped by the subsystem that
+/// produces it; the fold helpers in hv/ and guest/ map these back onto the
+/// legacy report structs.
+enum class Cnt : std::uint16_t {
+  // hv::CreditScheduler (per-vCPU shards)
+  kHvCtxSwitches,
+  kHvPreemptions,
+  kHvLhp,
+  kHvLwp,
+  kHvWakeups,
+  kHvSteals,
+  kHvMigrations,
+  // hv strategy components (per-vCPU shards)
+  kSaSent,
+  kSaAcked,
+  kSaForced,
+  kSaDelayTotalNs,
+  kPleExits,
+  kCoStops,
+  kDelayGrants,
+  kDelayReleased,
+  kDelayExpired,
+  // guest::GuestKernel and friends (per-guest-CPU shards)
+  kGuestCtxSwitches,
+  kGuestWakeMigrations,
+  kGuestPushMigrations,
+  kGuestPullMigrations,
+  kGuestIrsMigrations,
+  kGuestStopMigrations,
+  kGuestSaReceived,
+  kGuestSaRepliedBlock,
+  kGuestSaRepliedYield,
+  kGuestTagPreemptions,
+  kGuestIrsPullMigrations,
+  // wl::* workload progress (per-task shards)
+  kWorkUnits,
+
+  kCount,
+};
+
+inline constexpr std::size_t kCntCount = static_cast<std::size_t>(Cnt::kCount);
+
+/// A set of named counters split into cache-line-padded shards. Shard
+/// addresses are stable across growth (deque-backed), so producers may
+/// cache pointers into their shard.
+class Counters {
+ public:
+  explicit Counters(std::size_t n_shards = 1) { ensure(n_shards); }
+
+  /// Grow to at least `n` shards (never shrinks).
+  void ensure(std::size_t n) {
+    while (shards_.size() < n) shards_.emplace_back();
+  }
+
+  void inc(std::size_t shard, Cnt c, std::int64_t n = 1) {
+    if (shard >= shards_.size()) ensure(shard + 1);
+    shards_[shard].v[static_cast<std::size_t>(c)] += n;
+  }
+
+  /// One shard's value (0 for shards never grown).
+  [[nodiscard]] std::int64_t at(std::size_t shard, Cnt c) const {
+    if (shard >= shards_.size()) return 0;
+    return shards_[shard].v[static_cast<std::size_t>(c)];
+  }
+
+  /// Sum across all shards — the report-time fold.
+  [[nodiscard]] std::int64_t fold(Cnt c) const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.v[static_cast<std::size_t>(c)];
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t fold_u(Cnt c) const {
+    return static_cast<std::uint64_t>(fold(c));
+  }
+
+  [[nodiscard]] std::size_t n_shards() const { return shards_.size(); }
+
+  void reset() {
+    for (auto& s : shards_) s.v.fill(0);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::int64_t, kCntCount> v{};
+  };
+  static_assert(alignof(Shard) >= 64, "shards must be cache-line aligned");
+
+  std::deque<Shard> shards_;  // deque: stable shard addresses across ensure()
+};
+
+}  // namespace irs::obs

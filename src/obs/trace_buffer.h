@@ -1,0 +1,127 @@
+// Batched trace pipeline: per-module staging buffers over the shared
+// sim::Trace ring, plus typed query helpers over snapshots.
+//
+// sim::Trace::record() was the hottest line after the event engine in
+// trace-heavy runs (ROADMAP "Batched trace ring"): every producer paid the
+// full ring bookkeeping per record. Each module (the hypervisor, each guest
+// kernel) now owns a TraceBuffer that stages records locally and flushes
+// them into the ring in blocks. Sequence numbers are drawn from the ring at
+// record time, so flushed blocks from different modules interleave in
+// exactly the order they were recorded (Trace::snapshot sorts by
+// (when, seq)). The buffer registers a flush hook with the ring, so
+// snapshot/count/dump always see fully-flushed data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace irs::obs {
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultBatch = 64;
+
+  /// `trace` may be nullptr (tracing disabled for this module).
+  explicit TraceBuffer(sim::Trace* trace, std::size_t batch = kDefaultBatch)
+      : trace_(trace), batch_(batch > 0 ? batch : 1) {
+    staged_.reserve(batch_);
+    if (trace_ != nullptr) {
+      hook_id_ = trace_->add_flush_hook([this]() { flush(); });
+    }
+  }
+  ~TraceBuffer() {
+    if (trace_ != nullptr) {
+      flush();
+      trace_->remove_flush_hook(hook_id_);
+    }
+  }
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return trace_ != nullptr && trace_->enabled();
+  }
+
+  void record(sim::Time when, sim::TraceKind kind, std::int32_t a,
+              std::int32_t b, const char* note = "") {
+    if (!enabled()) return;
+    staged_.push_back(
+        sim::TraceRecord{when, trace_->alloc_seq(), kind, a, b, note});
+    if (staged_.size() >= batch_) flush();
+  }
+
+  /// Push every staged record into the shared ring in one block.
+  void flush() {
+    if (staged_.empty()) return;
+    trace_->append_block(staged_.data(), staged_.size());
+    staged_.clear();
+  }
+
+  /// Records staged but not yet flushed (test/bench introspection).
+  [[nodiscard]] std::size_t staged() const { return staged_.size(); }
+
+  /// Batch size 1 degenerates to the unbatched direct-ring path — the
+  /// "before" of the bench_report trace-overhead metric.
+  void set_batch(std::size_t n) {
+    flush();
+    batch_ = n > 0 ? n : 1;
+    staged_.reserve(batch_);
+  }
+  [[nodiscard]] std::size_t batch() const { return batch_; }
+
+ private:
+  sim::Trace* trace_;
+  std::size_t batch_;
+  int hook_id_ = -1;
+  std::vector<sim::TraceRecord> staged_;
+};
+
+/// Typed filter chain over a trace snapshot, so tests assert on records
+/// instead of string-matching dumps.
+class TraceQuery {
+ public:
+  explicit TraceQuery(std::vector<sim::TraceRecord> recs)
+      : recs_(std::move(recs)) {}
+  /// Convenience: snapshot (flushing staging buffers) and wrap.
+  explicit TraceQuery(sim::Trace& trace) : recs_(trace.snapshot()) {}
+
+  [[nodiscard]] TraceQuery of_kind(sim::TraceKind k) const {
+    return filter([k](const sim::TraceRecord& r) { return r.kind == k; });
+  }
+  /// Records with `when` in [t0, t1].
+  [[nodiscard]] TraceQuery between(sim::Time t0, sim::Time t1) const {
+    return filter([t0, t1](const sim::TraceRecord& r) {
+      return r.when >= t0 && r.when <= t1;
+    });
+  }
+  [[nodiscard]] TraceQuery with_a(std::int32_t a) const {
+    return filter([a](const sim::TraceRecord& r) { return r.a == a; });
+  }
+  [[nodiscard]] TraceQuery with_b(std::int32_t b) const {
+    return filter([b](const sim::TraceRecord& r) { return r.b == b; });
+  }
+
+  [[nodiscard]] std::size_t size() const { return recs_.size(); }
+  [[nodiscard]] bool empty() const { return recs_.empty(); }
+  [[nodiscard]] const sim::TraceRecord& first() const { return recs_.front(); }
+  [[nodiscard]] const sim::TraceRecord& last() const { return recs_.back(); }
+  [[nodiscard]] const std::vector<sim::TraceRecord>& records() const {
+    return recs_;
+  }
+
+ private:
+  template <typename Pred>
+  [[nodiscard]] TraceQuery filter(Pred pred) const {
+    std::vector<sim::TraceRecord> out;
+    for (const auto& r : recs_) {
+      if (pred(r)) out.push_back(r);
+    }
+    return TraceQuery(std::move(out));
+  }
+
+  std::vector<sim::TraceRecord> recs_;
+};
+
+}  // namespace irs::obs

@@ -1,5 +1,6 @@
 #include "src/sim/trace.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace irs::sim {
@@ -30,37 +31,65 @@ void Trace::set_capacity(std::size_t capacity) {
   ring_.clear();
   ring_.reserve(capacity);
   head_ = 0;
-  wrapped_ = false;
+  dropped_ = 0;
+  total_ = 0;
+}
+
+void Trace::push(const TraceRecord& rec) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  ring_[head_] = rec;
+  ++head_;
+  if (head_ == capacity_) head_ = 0;
+  ++dropped_;
 }
 
 void Trace::record(Time when, TraceKind kind, std::int32_t a, std::int32_t b,
                    const char* note) {
   if (!enabled()) return;
-  TraceRecord rec{when, kind, a, b, note};
-  if (ring_.size() < capacity_) {
-    ring_.push_back(rec);
-    head_ = ring_.size() % capacity_;
-  } else {
-    ring_[head_] = rec;
-    head_ = (head_ + 1) % capacity_;
-    wrapped_ = true;
+  push(TraceRecord{when, alloc_seq(), kind, a, b, note});
+}
+
+void Trace::append_block(const TraceRecord* recs, std::size_t n) {
+  if (!enabled()) return;
+  for (std::size_t i = 0; i < n; ++i) push(recs[i]);
+}
+
+int Trace::add_flush_hook(std::function<void()> hook) {
+  const int id = next_hook_id_++;
+  flush_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Trace::remove_flush_hook(int id) {
+  for (auto it = flush_hooks_.begin(); it != flush_hooks_.end(); ++it) {
+    if (it->first == id) {
+      flush_hooks_.erase(it);
+      return;
+    }
   }
 }
 
-std::vector<TraceRecord> Trace::snapshot() const {
-  std::vector<TraceRecord> out;
-  out.reserve(ring_.size());
-  if (!wrapped_) {
-    out = ring_;
-  } else {
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      out.push_back(ring_[(head_ + i) % ring_.size()]);
-    }
-  }
+void Trace::flush_buffers() {
+  for (auto& [id, hook] : flush_hooks_) hook();
+}
+
+std::vector<TraceRecord> Trace::snapshot() {
+  flush_buffers();
+  std::vector<TraceRecord> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& x, const TraceRecord& y) {
+              if (x.when != y.when) return x.when < y.when;
+              return x.seq < y.seq;
+            });
   return out;
 }
 
-std::size_t Trace::count(TraceKind kind) const {
+std::size_t Trace::count(TraceKind kind) {
+  flush_buffers();
   std::size_t n = 0;
   for (const auto& r : ring_) {
     if (r.kind == kind) ++n;
@@ -68,12 +97,16 @@ std::size_t Trace::count(TraceKind kind) const {
   return n;
 }
 
-std::string Trace::dump() const {
+std::string Trace::dump() {
   std::ostringstream os;
+  if (dropped_ > 0) {
+    os << "[trace truncated: " << dropped_ << " of " << total_
+       << " records dropped]\n";
+  }
   for (const auto& r : snapshot()) {
     os << to_ms(r.when) << "ms " << trace_kind_name(r.kind) << " a=" << r.a
        << " b=" << r.b;
-    if (r.note && r.note[0]) os << " (" << r.note << ")";
+    if (!r.note.empty()) os << " (" << r.note.c_str() << ")";
     os << '\n';
   }
   return os.str();
@@ -82,7 +115,8 @@ std::string Trace::dump() const {
 void Trace::clear() {
   ring_.clear();
   head_ = 0;
-  wrapped_ = false;
+  dropped_ = 0;
+  total_ = 0;
 }
 
 }  // namespace irs::sim

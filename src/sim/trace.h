@@ -1,9 +1,16 @@
-// Lightweight event tracing for debugging and for tests that assert on
-// scheduling decisions. Disabled by default; enabling keeps the most recent
-// `capacity` records in a ring buffer.
+// Lightweight event tracing for debugging, for tests that assert on
+// scheduling decisions, and for the obs exporters. Disabled by default;
+// enabling keeps the most recent `capacity` records in a ring buffer.
+//
+// Producers normally go through an obs::TraceBuffer (per-module staging,
+// flushed in blocks — see src/obs/trace_buffer.h); the direct record() path
+// remains for low-rate producers and as the unbatched baseline the
+// bench_report overhead metric compares against.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,18 +39,53 @@ enum class TraceKind : std::uint8_t {
 
 const char* trace_kind_name(TraceKind k);
 
+/// Owned small-string annotation. TraceRecord used to hold a `const char*`,
+/// which dangled whenever a producer passed anything but a string literal;
+/// records now copy (and truncate) the note into inline storage.
+class TraceNote {
+ public:
+  static constexpr std::size_t kMax = 15;  // + NUL terminator
+
+  TraceNote() { buf_[0] = '\0'; }
+  TraceNote(const char* s) {  // NOLINT(google-explicit-constructor)
+    if (s == nullptr) s = "";
+    std::size_t n = std::strlen(s);
+    if (n > kMax) n = kMax;
+    std::memcpy(buf_, s, n);
+    buf_[n] = '\0';
+  }
+
+  [[nodiscard]] const char* c_str() const { return buf_; }
+  [[nodiscard]] bool empty() const { return buf_[0] == '\0'; }
+  friend bool operator==(const TraceNote& a, const char* b) {
+    return std::strcmp(a.buf_, b) == 0;
+  }
+
+ private:
+  char buf_[kMax + 1];
+};
+
 struct TraceRecord {
   Time when = 0;
+  /// Global record-order sequence number, assigned when the record is
+  /// produced (not when its staging buffer is flushed): snapshots sort by
+  /// (when, seq), so block-flushed records from different modules
+  /// interleave exactly as they were recorded.
+  std::uint64_t seq = 0;
   TraceKind kind = TraceKind::kUser;
   std::int32_t a = -1;  // subsystem-defined (e.g. vCPU id)
   std::int32_t b = -1;  // subsystem-defined (e.g. pCPU or task id)
-  const char* note = "";
+  TraceNote note;
 };
 
 /// Fixed-capacity ring of trace records.
+///
+/// Capacity overflow is not silent: `dropped()` counts overwritten records
+/// and `total_recorded()` counts every accepted record, so tests can detect
+/// a wrapped ring and the exporter annotates truncation.
 class Trace {
  public:
-  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit Trace(std::size_t capacity = 0) { set_capacity(capacity); }
 
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
   void set_capacity(std::size_t capacity);
@@ -51,22 +93,52 @@ class Trace {
   void record(Time when, TraceKind kind, std::int32_t a, std::int32_t b,
               const char* note = "");
 
-  /// Records in chronological order (oldest first).
-  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+  /// Sequence number for a record produced into a staging buffer. Must be
+  /// drawn at record time (see TraceRecord::seq).
+  [[nodiscard]] std::uint64_t alloc_seq() { return next_seq_++; }
+
+  /// Bulk insert from a staging buffer. Records may arrive out of global
+  /// order across blocks; snapshot() restores (when, seq) order.
+  void append_block(const TraceRecord* recs, std::size_t n);
+
+  /// Staging buffers attached to this ring register a flush hook so that
+  /// snapshot()/count()/dump() always observe fully-flushed data. Returns a
+  /// registration id for remove_flush_hook().
+  int add_flush_hook(std::function<void()> hook);
+  void remove_flush_hook(int id);
+
+  /// Flush every attached staging buffer into the ring.
+  void flush_buffers();
+
+  /// Records in chronological order (oldest first). Flushes staging
+  /// buffers first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot();
 
   /// Count of records of a given kind currently retained.
-  [[nodiscard]] std::size_t count(TraceKind kind) const;
+  [[nodiscard]] std::size_t count(TraceKind kind);
 
   /// Human-readable dump (for failing-test diagnostics).
-  [[nodiscard]] std::string dump() const;
+  [[nodiscard]] std::string dump();
+
+  /// Records lost to ring wrap-around since the last set_capacity/clear.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Records accepted (retained + dropped) since the last
+  /// set_capacity/clear.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
 
   void clear();
 
  private:
+  void push(const TraceRecord& rec);
+
   std::size_t capacity_ = 0;
-  std::size_t head_ = 0;  // next write slot
-  bool wrapped_ = false;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
   std::vector<TraceRecord> ring_;
+  std::vector<std::pair<int, std::function<void()>>> flush_hooks_;
+  int next_hook_id_ = 0;
 };
 
 }  // namespace irs::sim

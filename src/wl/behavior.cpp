@@ -20,12 +20,12 @@ const char* sync_type_name(SyncType t) {
 }
 
 PhasedShape make_phased_shape(const AppSpec& spec, int n_threads,
-                              bool endless, double* progress) {
+                              bool endless, obs::Counters* work) {
   PhasedShape s;
   s.spec = spec;
   s.n_threads = n_threads;
   s.endless = endless;
-  s.progress = progress;
+  s.work = work;
   const bool has_lock = spec.sync == SyncType::kMutex ||
                         spec.sync == SyncType::kSpinMutex ||
                         spec.sync == SyncType::kMutexBarrier;
@@ -54,7 +54,6 @@ PhasedShape make_phased_shape(const AppSpec& spec, int n_threads,
 
 guest::Action PhasedBehavior::next(guest::Task& t, sim::Time now,
                                    sim::Rng& rng) {
-  (void)t;
   (void)now;
   const PhasedShape& s = shape_;
   const bool has_lock = s.mutex != nullptr || s.spin != nullptr;
@@ -89,7 +88,7 @@ guest::Action PhasedBehavior::next(guest::Task& t, sim::Time now,
         if (s.barrier != nullptr) return guest::Action::barrier(*s.barrier);
         continue;
       case 5:  // end of phase
-        if (s.progress != nullptr) *s.progress += 1.0;
+        if (s.work != nullptr) s.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
         ++phase_;
         if (!s.endless && phase_ >= s.n_phases) {
           return guest::Action::finish();
@@ -158,7 +157,9 @@ guest::Action PipelineBehavior::next(guest::Task& t, sim::Time now,
           return guest::Action::pipe_push(
               *shape_.pipes[static_cast<std::size_t>(stage_)]);
         }
-        if (shape_.progress != nullptr) *shape_.progress += 1.0;
+        if (shape_.work != nullptr) {
+          shape_.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
+        }
         continue;
       default:
         assert(false);
@@ -172,10 +173,11 @@ guest::Action PipelineBehavior::next(guest::Task& t, sim::Time now,
 
 guest::Action WorkStealBehavior::next(guest::Task& t, sim::Time now,
                                       sim::Rng& rng) {
-  (void)t;
   (void)now;
   if (auto w = shape_.pool->take()) {
-    if (shape_.progress != nullptr) *shape_.progress += 1.0;
+    if (shape_.work != nullptr) {
+      shape_.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
+    }
     return guest::Action::compute(rng.jittered(*w, shape_.spec.jitter));
   }
   return guest::Action::finish();

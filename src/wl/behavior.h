@@ -6,6 +6,7 @@
 
 #include "src/guest/action.h"
 #include "src/guest/task.h"
+#include "src/obs/counters.h"
 #include "src/sync/barrier.h"
 #include "src/sync/mutex.h"
 #include "src/sync/pipe.h"
@@ -14,6 +15,12 @@
 #include "src/wl/spec.h"
 
 namespace irs::wl {
+
+/// Shard convention for workload counters: shard 0 is the workload-global
+/// lane, shard task_id+1 is the task's own lane.
+inline std::size_t task_shard(const guest::Task& t) {
+  return static_cast<std::size_t>(t.id()) + 1;
+}
 
 /// Shared state of a phase-structured parallel application (barrier and/or
 /// critical-section rounds). One instance per workload.
@@ -28,12 +35,13 @@ struct PhasedShape {
   sync::Barrier* barrier = nullptr;
   sync::Mutex* mutex = nullptr;
   sync::SpinLock* spin = nullptr;
-  double* progress = nullptr;    // aggregated phase counter (may be null)
+  /// Per-task phase counters (kWorkUnits lanes; may be null).
+  obs::Counters* work = nullptr;
 };
 
 /// Derive round/phase structure from an AppSpec.
 PhasedShape make_phased_shape(const AppSpec& spec, int n_threads,
-                              bool endless, double* progress);
+                              bool endless, obs::Counters* work);
 
 /// Executes the phase structure described by a PhasedShape. Covers
 /// kBarrierBlocking, kBarrierSpinning, kMutex, kSpinMutex, kMutexBarrier
@@ -60,7 +68,8 @@ struct PipelineShape {
   std::vector<sync::Pipe*> pipes;  // stages-1 pipes
   std::vector<int> stage_live;   // live workers per stage (for pipe close)
   int items_produced = 0;        // stage-0 generation counter
-  double* progress = nullptr;    // completed items at the last stage
+  /// Per-task counters of items retired at the last stage (may be null).
+  obs::Counters* work = nullptr;
 };
 
 class PipelineBehavior final : public guest::Behavior {
@@ -82,7 +91,7 @@ class PipelineBehavior final : public guest::Behavior {
 struct WorkStealShape {
   AppSpec spec;
   sync::WorkPool* pool = nullptr;
-  double* progress = nullptr;
+  obs::Counters* work = nullptr;  // per-task chunk counters (may be null)
 };
 
 class WorkStealBehavior final : public guest::Behavior {

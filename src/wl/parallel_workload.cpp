@@ -28,7 +28,7 @@ void ParallelWorkload::instantiate(guest::GuestKernel& k) {
 
 void ParallelWorkload::instantiate_phased(guest::GuestKernel& k) {
   phased_ = std::make_unique<PhasedShape>(
-      make_phased_shape(spec_, n_threads_, endless_, &progress_));
+      make_phased_shape(spec_, n_threads_, endless_, &work_));
   switch (spec_.sync) {
     case SyncType::kBarrierBlocking:
       phased_->barrier = &sync_->make_barrier(
@@ -65,7 +65,7 @@ void ParallelWorkload::instantiate_phased(guest::GuestKernel& k) {
 void ParallelWorkload::instantiate_pipeline(guest::GuestKernel& k) {
   pipeline_ = std::make_unique<PipelineShape>();
   pipeline_->spec = spec_;
-  pipeline_->progress = &progress_;
+  pipeline_->work = &work_;
   pipeline_->item_cost = std::max<sim::Duration>(1, spec_.granularity);
   pipeline_->items_total = static_cast<int>(
       spec_.work_per_thread * n_threads_ / pipeline_->item_cost);
@@ -88,7 +88,7 @@ void ParallelWorkload::instantiate_pipeline(guest::GuestKernel& k) {
 void ParallelWorkload::instantiate_worksteal(guest::GuestKernel& k) {
   worksteal_ = std::make_unique<WorkStealShape>();
   worksteal_->spec = spec_;
-  worksteal_->progress = &progress_;
+  worksteal_->work = &work_;
   worksteal_->pool = &sync_->make_pool();
   const sim::Duration chunk = std::max<sim::Duration>(1, spec_.granularity);
   const int chunks =

@@ -8,7 +8,6 @@ namespace irs::wl {
 
 guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
                                       sim::Rng& rng) {
-  (void)t;
   for (;;) {
     switch (step_) {
       case 0:  // start a transaction
@@ -32,7 +31,9 @@ guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
         return guest::Action::unlock(*shape_.mutex);
       case 4:  // transaction complete
         shape_.latency->add(now - txn_start_);
-        if (shape_.progress != nullptr) *shape_.progress += 1.0;
+        if (shape_.work != nullptr) {
+          shape_.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
+        }
         step_ = 0;
         continue;
       default:
@@ -47,7 +48,6 @@ guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
 
 guest::Action AbWorkerBehavior::next(guest::Task& t, sim::Time now,
                                      sim::Rng& rng) {
-  (void)t;
   for (;;) {
     switch (step_) {
       case 0: {  // wait for the next request of this connection
@@ -64,7 +64,9 @@ guest::Action AbWorkerBehavior::next(guest::Task& t, sim::Time now,
             rng.jittered(shape_.service_mean, 0.5));
       case 2:  // response sent
         shape_.latency->add(now - arrival_);
-        if (shape_.progress != nullptr) *shape_.progress += 1.0;
+        if (shape_.work != nullptr) {
+          shape_.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
+        }
         step_ = 0;
         continue;
       default:
@@ -97,7 +99,7 @@ void JbbWorkload::instantiate(guest::GuestKernel& k) {
   shape_->cs_every = 2;
   shape_->mutex = &sync_->make_mutex("jbb.shared");
   shape_->latency = &latency_;
-  shape_->progress = &progress_;
+  shape_->work = &work_;
   for (int i = 0; i < warehouses_; ++i) {
     behaviors_.push_back(std::make_unique<JbbWorkerBehavior>(*shape_));
     tasks_.push_back(&k.create_task("jbb.wh" + std::to_string(i),
@@ -106,7 +108,7 @@ void JbbWorkload::instantiate(guest::GuestKernel& k) {
 }
 
 double JbbWorkload::throughput() const {
-  return progress_ / sim::to_sec(run_for_);
+  return progress() / sim::to_sec(run_for_);
 }
 
 AbWorkload::AbWorkload(int connections, sim::Duration run_for,
@@ -125,7 +127,7 @@ void AbWorkload::instantiate(guest::GuestKernel& k) {
   shape_->service_mean = service_mean_;
   shape_->think_mean = think_mean_;
   shape_->latency = &latency_;
-  shape_->progress = &progress_;
+  shape_->work = &work_;
   for (int i = 0; i < connections_; ++i) {
     behaviors_.push_back(std::make_unique<AbWorkerBehavior>(*shape_));
     tasks_.push_back(&k.create_task("ab.c" + std::to_string(i),
@@ -134,7 +136,7 @@ void AbWorkload::instantiate(guest::GuestKernel& k) {
 }
 
 double AbWorkload::throughput() const {
-  return progress_ / sim::to_sec(run_for_);
+  return progress() / sim::to_sec(run_for_);
 }
 
 }  // namespace irs::wl

@@ -24,7 +24,8 @@ struct ServerShape {
   int cs_every = 0;                   // jbb: lock every N transactions
   sync::Mutex* mutex = nullptr;       // jbb shared structure lock
   core::Histogram* latency = nullptr;
-  double* progress = nullptr;         // completed requests/transactions
+  /// Per-task counters of completed requests/transactions (may be null).
+  obs::Counters* work = nullptr;
 };
 
 class JbbWorkerBehavior final : public guest::Behavior {

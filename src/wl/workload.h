@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/guest/guest_kernel.h"
+#include "src/obs/counters.h"
 #include "src/sync/sync_context.h"
 #include "src/wl/spec.h"
 
@@ -34,9 +35,17 @@ class Workload {
     return true;
   }
 
-  /// Monotone work counter (phases / items / transactions completed).
+  /// Monotone work counter (phases / items / transactions completed),
+  /// folded across the per-task shards of the work registry.
   /// The throughput of endless background workloads is progress()/time.
-  [[nodiscard]] double progress() const { return progress_; }
+  [[nodiscard]] double progress() const {
+    return static_cast<double>(work_.fold(obs::Cnt::kWorkUnits));
+  }
+
+  /// Per-task work-unit registry (behaviours increment their own shard;
+  /// see task_shard()).
+  [[nodiscard]] obs::Counters& work() { return work_; }
+  [[nodiscard]] const obs::Counters& work() const { return work_; }
 
   [[nodiscard]] const std::vector<guest::Task*>& tasks() const {
     return tasks_;
@@ -62,8 +71,9 @@ class Workload {
  protected:
   Workload(Workload&&) = default;
 
-  /// Shared by behaviours to report completed units of work.
-  double progress_ = 0;
+  /// Shared by behaviours to report completed units of work, one
+  /// cache-line-padded shard per task.
+  obs::Counters work_;
 
   std::string name_;
   std::vector<guest::Task*> tasks_;

@@ -1,0 +1,95 @@
+// Unit tests for core measurement utilities, chiefly the exact-percentile
+// histogram: known quantiles of hand-built sample sets, interpolation
+// between ranks, and const-correct sort-on-demand behaviour.
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace irs::core {
+namespace {
+
+Histogram from_samples(std::initializer_list<sim::Duration> vs) {
+  Histogram h;
+  for (auto v : vs) h.add(v);
+  return h;
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+}
+
+TEST(Histogram, SingleSampleAtEveryPercentile) {
+  const Histogram h = from_samples({42});
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 42) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MedianOfTwoInterpolates) {
+  // Nearest-rank would return one of the endpoints; the linear-interpolated
+  // convention (numpy default) gives the midpoint.
+  const Histogram h = from_samples({10, 20});
+  EXPECT_EQ(h.percentile(50.0), 15);
+  EXPECT_EQ(h.percentile(0.0), 10);
+  EXPECT_EQ(h.percentile(100.0), 20);
+  EXPECT_EQ(h.percentile(25.0), 13);  // llround(10 + 0.25 * 10)
+}
+
+TEST(Histogram, KnownQuantilesOfEvenlySpacedSamples) {
+  // 0, 10, ..., 90: rank = p/100 * 9.
+  Histogram h;
+  for (int i = 9; i >= 0; --i) h.add(10 * i);  // unsorted insertion order
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(100.0), 90);
+  EXPECT_EQ(h.percentile(50.0), 45);  // rank 4.5 -> between 40 and 50
+  EXPECT_EQ(h.percentile(25.0), 23);  // rank 2.25 -> llround(22.5)
+  EXPECT_EQ(h.percentile(75.0), 68);  // rank 6.75 -> llround(67.5)
+  EXPECT_EQ(h.percentile(99.0), 89);  // rank 8.91 -> llround(89.1)
+}
+
+TEST(Histogram, ExactRankNeedsNoInterpolation) {
+  const Histogram h = from_samples({1, 2, 3, 4, 5});
+  EXPECT_EQ(h.percentile(25.0), 2);  // rank exactly 1
+  EXPECT_EQ(h.percentile(50.0), 3);  // rank exactly 2
+  EXPECT_EQ(h.percentile(75.0), 4);  // rank exactly 3
+}
+
+TEST(Histogram, OutOfRangePercentileClamps) {
+  const Histogram h = from_samples({5, 15});
+  EXPECT_EQ(h.percentile(-10.0), 5);
+  EXPECT_EQ(h.percentile(250.0), 15);
+}
+
+TEST(Histogram, PercentileIsConstAndSurvivesInterleavedAdds) {
+  Histogram h;
+  h.add(30);
+  h.add(10);
+  const Histogram& ch = h;  // percentile must be callable through const ref
+  EXPECT_EQ(ch.percentile(100.0), 30);
+  h.add(50);  // invalidates the sorted cache
+  EXPECT_EQ(ch.percentile(100.0), 50);
+  EXPECT_EQ(ch.percentile(50.0), 30);
+  EXPECT_EQ(ch.mean(), 30);
+  EXPECT_EQ(ch.max(), 50);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h = from_samples({7, 9});
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0);
+}
+
+TEST(Metrics, ImprovementAndGainPct) {
+  EXPECT_DOUBLE_EQ(improvement_pct(200.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(gain_pct(100.0, 150.0), 50.0);
+  EXPECT_DOUBLE_EQ(gain_pct(0.0, 150.0), 0.0);
+}
+
+}  // namespace
+}  // namespace irs::core

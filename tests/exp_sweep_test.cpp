@@ -105,6 +105,46 @@ TEST(Sweep, OneThreadAndManyThreadsAreBitIdentical) {
   }
 }
 
+TEST(Sweep, StreamingConsumerDeliversInOrderAndStaysBitIdentical) {
+  const auto cfgs = small_grid();
+  const auto serial = run_sweep(cfgs, /*n_threads=*/1);
+
+  std::vector<std::size_t> order;
+  std::vector<RunResult> streamed(cfgs.size());
+  const auto parallel = run_sweep(
+      cfgs,
+      [&](std::size_t i, const RunResult& r) {
+        order.push_back(i);
+        streamed[i] = r;
+      },
+      /*n_threads=*/4);
+
+  // Every run delivered exactly once, strictly in index order, regardless
+  // of completion order on the pool.
+  ASSERT_EQ(order.size(), cfgs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+
+  // The streamed results, the returned vector, and the serial reference
+  // are all the same.
+  ASSERT_EQ(parallel.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+    expect_identical(serial[i], streamed[i]);
+  }
+}
+
+TEST(Sweep, NullConsumerBehavesLikePlainSweep) {
+  const auto cfgs = small_grid();
+  const auto plain = run_sweep(cfgs, /*n_threads=*/2);
+  const auto with_null = run_sweep(cfgs, SweepConsumer{}, /*n_threads=*/2);
+  ASSERT_EQ(plain.size(), with_null.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(plain[i], with_null[i]);
+  }
+}
+
 TEST(Sweep, RunAveragedMatchesSerialRunScenarioCalls) {
   ScenarioConfig cfg;
   cfg.fg = "blackscholes";

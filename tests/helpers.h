@@ -73,7 +73,6 @@ class TestWorkload final : public wl::Workload {
   }
 
   [[nodiscard]] sync::SyncContext& sync_ctx() { return *sync_; }
-  [[nodiscard]] double& progress_ref() { return progress_; }
 
  private:
   Setup setup_;

@@ -1,0 +1,280 @@
+// Exporter tests: JsonWriter primitives, the stable RunResult JSON emitter,
+// and the Chrome trace_event timeline writer — golden-checked byte-for-byte
+// on a hand-built trace and structurally on a real (tiny) scenario run.
+//
+// Regenerate the golden file after an intentional format change with
+//   IRS_REGEN_GOLDEN=1 ./irs_tests --gtest_filter=ObsExport.GoldenTinyTrace
+#include "src/obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+#include "src/obs/json.h"
+
+namespace irs::obs {
+namespace {
+
+/// Minimal JSON well-formedness scan: brace/bracket balance outside string
+/// literals, escape-aware. Catches the usual writer bugs (stray commas are
+/// caught by the golden test; unbalanced containers by this).
+bool balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+int count_occurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, WriterProducesCompactDeterministicOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "hi")
+      .field("i", 42)
+      .field("d", 1.5)
+      .field("b", true)
+      .key("arr")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .key("nested")
+      .begin_object()
+      .end_object()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"hi\",\"i\":42,\"d\":1.5,\"b\":true,"
+            "\"arr\":[1,2],\"nested\":{}}");
+}
+
+TEST(ObsJson, EscapesPerRfc8259) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_escape("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(ObsJson, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// RunResult JSON
+// ---------------------------------------------------------------------------
+
+TEST(ObsExport, ResultJsonHasStableShape) {
+  exp::RunResult r;
+  r.finished = true;
+  r.fg_makespan = sim::milliseconds(25);
+  r.fg_util_vs_fair = 1.25;
+  r.lhp = 7;
+  r.sa_sent = 3;
+  const std::string j = exp::result_json(r);
+  EXPECT_TRUE(balanced_json(j)) << j;
+  EXPECT_NE(j.find("\"finished\":true"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fg_makespan_ns\":25000000"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fg_util_vs_fair\":1.25"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"lhp\":7"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"sa_sent\":3"), std::string::npos) << j;
+  // Key order is part of the contract (diffs between reports stay minimal).
+  EXPECT_LT(j.find("\"finished\""), j.find("\"fg_makespan_ns\""));
+  EXPECT_LT(j.find("\"lhp\""), j.find("\"sa_delay_avg_ns\""));
+}
+
+TEST(ObsExport, SweepJsonPreservesOrder) {
+  exp::RunResult a;
+  a.lhp = 1;
+  exp::RunResult b;
+  b.lhp = 2;
+  const std::string j = exp::sweep_json({a, b});
+  EXPECT_TRUE(balanced_json(j)) << j;
+  EXPECT_NE(j.find("\"results\":["), std::string::npos) << j;
+  EXPECT_LT(j.find("\"lhp\":1"), j.find("\"lhp\":2"));
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON
+// ---------------------------------------------------------------------------
+
+/// Hand-built two-vCPU trace exercising every event class the exporter
+/// renders: spans (incl. reschedule-splits and end-of-trace close), an SA
+/// send/ack flow, LHP/LWP instants, and the truncation marker.
+std::vector<sim::TraceRecord> tiny_records() {
+  using sim::TraceKind;
+  std::vector<sim::TraceRecord> rs;
+  std::uint64_t seq = 0;
+  auto add = [&](sim::Time when, TraceKind k, std::int32_t a, std::int32_t b,
+                 const char* note = "") {
+    rs.push_back(sim::TraceRecord{when, seq++, k, a, b, note});
+  };
+  add(sim::milliseconds(1), TraceKind::kHvSchedule, 0, 0);
+  add(sim::milliseconds(1), TraceKind::kHvSchedule, 1, 1);
+  add(sim::milliseconds(2), TraceKind::kSaSend, 1, -1);
+  add(sim::microseconds(2500), TraceKind::kLhp, 0, 5);
+  add(sim::milliseconds(3), TraceKind::kHvPreempt, 0, 0);
+  add(sim::microseconds(3500), TraceKind::kSaAck, 1, -1);
+  add(sim::milliseconds(4), TraceKind::kLwp, 1, 6);
+  add(sim::microseconds(4500), TraceKind::kHvSchedule, 2, 0, "steal");
+  add(sim::milliseconds(5), TraceKind::kHvSchedule, 2, 0);  // resched split
+  add(sim::milliseconds(6), TraceKind::kHvBlock, 2, 0);
+  return rs;  // vCPU 1 stays on-CPU; closed at meta.end
+}
+
+TraceMeta tiny_meta() {
+  TraceMeta m;
+  m.title = "tiny";
+  m.n_pcpus = 2;
+  m.vcpus = {{0, "fg", 0}, {1, "fg", 1}, {2, "bg0", 0}};
+  m.start = 0;
+  m.end = sim::milliseconds(10);
+  m.dropped = 2;
+  m.total_recorded = 12;
+  return m;
+}
+
+TEST(ObsExport, GoldenTinyTrace) {
+  const std::string json = chrome_trace_json(tiny_records(), tiny_meta());
+  ASSERT_TRUE(balanced_json(json)) << json;
+
+  const std::string path = std::string(IRS_GOLDEN_DIR) + "/tiny_trace.json";
+  if (std::getenv("IRS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << json;
+    ASSERT_TRUE(out.good()) << "could not regenerate " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with IRS_REGEN_GOLDEN=1 to create)";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(json, ss.str())
+      << "exporter output drifted from the golden file; if intentional, "
+         "regenerate with IRS_REGEN_GOLDEN=1";
+}
+
+TEST(ObsExport, TinyTraceStructure) {
+  const std::string json = chrome_trace_json(tiny_records(), tiny_meta());
+  // Lane metadata for both processes and every lane.
+  EXPECT_NE(json.find("\"pCPUs\""), std::string::npos);
+  EXPECT_NE(json.find("\"vCPUs\""), std::string::npos);
+  EXPECT_NE(json.find("\"pCPU 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"fg/vcpu1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bg0/vcpu0\""), std::string::npos);
+  // Truncation marker with the drop accounting.
+  EXPECT_NE(json.find("\"trace truncated\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos);
+  // 4 spans (v0; v2 split in two by the reschedule; v1 closed at the trace
+  // end), each mirrored on the pCPU and vCPU lanes.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 8);
+  // One SA flow pair and the two instants.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 1);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 1);
+  EXPECT_NE(json.find("\"LHP\""), std::string::npos);
+  EXPECT_NE(json.find("\"LWP\""), std::string::npos);
+  EXPECT_NE(json.find("\"task\":5"), std::string::npos);
+  // vCPU 1's span runs from 1 ms to meta.end (10 ms) = 9 ms duration.
+  EXPECT_NE(json.find("\"ts\":1000,\"dur\":9000"), std::string::npos);
+}
+
+TEST(ObsExport, ScenarioTraceDumpIsWellFormed) {
+  // A real (tiny) run end-to-end through run_scenario's dump path: the
+  // exporter must emit valid JSON with on-CPU spans for the actual topology.
+  exp::ScenarioConfig cfg;
+  cfg.fg = "blackscholes";
+  cfg.fg_threads = 2;
+  cfg.n_vcpus = 2;
+  cfg.n_pcpus = 2;
+  cfg.strategy = core::Strategy::kIrs;
+  cfg.work_scale = 0.05;
+  cfg.seed = 11;
+
+  exp::TraceDump dump;
+  const exp::RunResult r = exp::run_scenario(cfg, &dump);
+  EXPECT_TRUE(r.finished);
+  ASSERT_FALSE(dump.records.empty());
+  ASSERT_EQ(dump.meta.vcpus.size(), 3u);  // 2 fg + 1 bg vCPU
+  EXPECT_EQ(dump.meta.n_pcpus, 2);
+  EXPECT_GT(dump.meta.end, dump.meta.start);
+
+  // Snapshot ordering invariant the exporter depends on.
+  for (std::size_t i = 1; i < dump.records.size(); ++i) {
+    EXPECT_LE(dump.records[i - 1].when, dump.records[i].when);
+  }
+
+  const std::string json = chrome_trace_json(dump.records, dump.meta);
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("\"fg/vcpu0\""), std::string::npos);
+  EXPECT_NE(json.find("\"bg0/vcpu0\""), std::string::npos);
+  EXPECT_GT(count_occurrences(json, "\"ph\":\"X\""), 0);
+  if (r.sa_sent > 0) {
+    EXPECT_GT(count_occurrences(json, "\"ph\":\"s\""), 0);
+  }
+  if (r.lhp > 0) {
+    EXPECT_GT(count_occurrences(json, "\"LHP\""), 0);
+  }
+}
+
+TEST(ObsExport, RunWithoutDumpStaysUntraced) {
+  // The plain overload must not pay for tracing: same scenario, no dump.
+  exp::ScenarioConfig cfg;
+  cfg.fg = "blackscholes";
+  cfg.fg_threads = 2;
+  cfg.n_vcpus = 2;
+  cfg.n_pcpus = 2;
+  cfg.work_scale = 0.05;
+  cfg.seed = 11;
+  exp::TraceDump dump;
+  const exp::RunResult traced = exp::run_scenario(cfg, &dump);
+  const exp::RunResult plain = exp::run_scenario(cfg);
+  // Tracing must not perturb the simulation.
+  EXPECT_EQ(plain.fg_makespan, traced.fg_makespan);
+  EXPECT_EQ(plain.lhp, traced.lhp);
+  EXPECT_EQ(plain.sa_sent, traced.sa_sent);
+}
+
+}  // namespace
+}  // namespace irs::obs

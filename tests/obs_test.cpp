@@ -1,0 +1,246 @@
+// Unit tests for the observability substrate: sharded counters, the batched
+// trace pipeline (staging buffers over the shared ring), ring wrap-around
+// accounting, owned trace notes, and the typed snapshot query helper.
+#include "src/obs/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/trace_buffer.h"
+#include "src/sim/trace.h"
+
+namespace irs::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounters, FoldSumsAcrossShards) {
+  Counters c(4);
+  c.inc(0, Cnt::kHvCtxSwitches);
+  c.inc(1, Cnt::kHvCtxSwitches, 10);
+  c.inc(3, Cnt::kHvCtxSwitches, 100);
+  EXPECT_EQ(c.at(0, Cnt::kHvCtxSwitches), 1);
+  EXPECT_EQ(c.at(1, Cnt::kHvCtxSwitches), 10);
+  EXPECT_EQ(c.at(2, Cnt::kHvCtxSwitches), 0);
+  EXPECT_EQ(c.fold(Cnt::kHvCtxSwitches), 111);
+  EXPECT_EQ(c.fold_u(Cnt::kHvCtxSwitches), 111u);
+  EXPECT_EQ(c.fold(Cnt::kHvPreemptions), 0);  // other counters untouched
+}
+
+TEST(ObsCounters, IncAutoGrowsShards) {
+  Counters c(1);
+  EXPECT_EQ(c.n_shards(), 1u);
+  c.inc(7, Cnt::kSaSent, 3);
+  EXPECT_GE(c.n_shards(), 8u);
+  EXPECT_EQ(c.at(7, Cnt::kSaSent), 3);
+  EXPECT_EQ(c.fold(Cnt::kSaSent), 3);
+}
+
+TEST(ObsCounters, CountersAreIndependentWithinAShard) {
+  Counters c(2);
+  c.inc(1, Cnt::kSaSent, 5);
+  c.inc(1, Cnt::kSaAcked, 4);
+  c.inc(1, Cnt::kSaDelayTotalNs, 123456);
+  EXPECT_EQ(c.at(1, Cnt::kSaSent), 5);
+  EXPECT_EQ(c.at(1, Cnt::kSaAcked), 4);
+  EXPECT_EQ(c.at(1, Cnt::kSaDelayTotalNs), 123456);
+}
+
+TEST(ObsCounters, ResetZeroesEveryShard) {
+  Counters c(3);
+  c.inc(0, Cnt::kWorkUnits, 9);
+  c.inc(2, Cnt::kWorkUnits, 9);
+  c.reset();
+  EXPECT_EQ(c.fold(Cnt::kWorkUnits), 0);
+  EXPECT_EQ(c.n_shards(), 3u);  // shard count survives a reset
+}
+
+// ---------------------------------------------------------------------------
+// Ring wrap-around accounting
+// ---------------------------------------------------------------------------
+
+TEST(TraceRing, WrapIsDetectable) {
+  sim::Trace t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.record(i, sim::TraceKind::kUser, i, -1);
+  }
+  EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().a, 6);  // oldest surviving record
+  EXPECT_EQ(snap.back().a, 9);
+  EXPECT_NE(t.dump().find("truncated"), std::string::npos);
+}
+
+TEST(TraceRing, NoWrapMeansNoDrops) {
+  sim::Trace t(16);
+  t.record(1, sim::TraceKind::kUser, 0, 0);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.total_recorded(), 1u);
+  EXPECT_EQ(t.dump().find("truncated"), std::string::npos);
+}
+
+TEST(TraceRing, ClearResetsAccounting) {
+  sim::Trace t(2);
+  for (int i = 0; i < 5; ++i) t.record(i, sim::TraceKind::kUser, i, -1);
+  t.clear();
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// TraceNote ownership
+// ---------------------------------------------------------------------------
+
+TEST(TraceNote, OwnsItsCharacters) {
+  // The old `const char*` field dangled when the producer's string died;
+  // the note must survive the source buffer.
+  sim::Trace t(8);
+  {
+    std::string ephemeral = "steal";
+    t.record(0, sim::TraceKind::kHvSchedule, 0, 0, ephemeral.c_str());
+    ephemeral.assign("XXXXXXXXXXXXXXXXXXXXXXXX");  // clobber the storage
+  }
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_TRUE(snap[0].note == "steal");
+}
+
+TEST(TraceNote, TruncatesLongNotes) {
+  const sim::TraceNote n("0123456789abcdefGHIJ");
+  EXPECT_STREQ(n.c_str(), "0123456789abcde");  // kMax = 15 chars
+  const sim::TraceNote empty;
+  EXPECT_TRUE(empty.empty());
+  const sim::TraceNote null_note(nullptr);
+  EXPECT_TRUE(null_note.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Batched staging buffers
+// ---------------------------------------------------------------------------
+
+TEST(ObsTraceBuffer, StagesUntilBatchThenFlushes) {
+  sim::Trace t(64);
+  TraceBuffer buf(&t, /*batch=*/4);
+  for (int i = 0; i < 3; ++i) {
+    buf.record(i, sim::TraceKind::kUser, i, -1);
+  }
+  EXPECT_EQ(buf.staged(), 3u);
+  EXPECT_EQ(t.total_recorded(), 0u);  // nothing in the ring yet
+  buf.record(3, sim::TraceKind::kUser, 3, -1);  // hits the batch size
+  EXPECT_EQ(buf.staged(), 0u);
+  EXPECT_EQ(t.total_recorded(), 4u);
+}
+
+TEST(ObsTraceBuffer, SnapshotFlushesViaHook) {
+  sim::Trace t(64);
+  TraceBuffer buf(&t, /*batch=*/100);
+  buf.record(5, sim::TraceKind::kUser, 1, -1);
+  EXPECT_EQ(buf.staged(), 1u);
+  const auto snap = t.snapshot();  // must observe staged records
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].when, 5);
+  EXPECT_EQ(buf.staged(), 0u);
+}
+
+TEST(ObsTraceBuffer, DestructorFlushes) {
+  sim::Trace t(64);
+  {
+    TraceBuffer buf(&t, /*batch=*/100);
+    buf.record(1, sim::TraceKind::kUser, 1, -1);
+  }
+  EXPECT_EQ(t.snapshot().size(), 1u);
+}
+
+TEST(ObsTraceBuffer, TwoModulesInterleaveInRecordOrder) {
+  // Two buffers with different batch sizes flush blocks into the ring at
+  // different times; the snapshot must still read in (when, seq) order —
+  // i.e. exactly the order the records were produced.
+  sim::Trace t(256);
+  TraceBuffer hv_buf(&t, /*batch=*/3);
+  TraceBuffer guest_buf(&t, /*batch=*/7);
+  for (int i = 0; i < 20; ++i) {
+    if (i % 2 == 0) {
+      hv_buf.record(i, sim::TraceKind::kHvSchedule, i, -1);
+    } else {
+      guest_buf.record(i, sim::TraceKind::kGuestSwitch, i, -1);
+    }
+  }
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].when, i);
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].a, i);
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].kind,
+              i % 2 == 0 ? sim::TraceKind::kHvSchedule
+                         : sim::TraceKind::kGuestSwitch);
+  }
+}
+
+TEST(ObsTraceBuffer, SameTimestampKeepsProductionOrder) {
+  sim::Trace t(64);
+  TraceBuffer a(&t, /*batch=*/10);
+  TraceBuffer b(&t, /*batch=*/2);
+  a.record(7, sim::TraceKind::kUser, 1, -1);
+  b.record(7, sim::TraceKind::kUser, 2, -1);
+  a.record(7, sim::TraceKind::kUser, 3, -1);
+  b.record(7, sim::TraceKind::kUser, 4, -1);  // b flushes first (batch 2)
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].a, i + 1);
+  }
+}
+
+TEST(ObsTraceBuffer, NullAndDisabledTracesAreNoOps) {
+  TraceBuffer null_buf(nullptr);
+  EXPECT_FALSE(null_buf.enabled());
+  null_buf.record(0, sim::TraceKind::kUser, 0, 0);  // no crash
+  EXPECT_EQ(null_buf.staged(), 0u);
+
+  sim::Trace disabled;  // capacity 0
+  TraceBuffer buf(&disabled);
+  EXPECT_FALSE(buf.enabled());
+  buf.record(0, sim::TraceKind::kUser, 0, 0);
+  EXPECT_EQ(buf.staged(), 0u);
+}
+
+TEST(ObsTraceBuffer, SetBatchFlushesFirst) {
+  sim::Trace t(64);
+  TraceBuffer buf(&t, /*batch=*/100);
+  buf.record(1, sim::TraceKind::kUser, 0, 0);
+  buf.set_batch(1);
+  EXPECT_EQ(buf.staged(), 0u);
+  EXPECT_EQ(t.total_recorded(), 1u);
+  buf.record(2, sim::TraceKind::kUser, 0, 0);  // batch 1 = flush-through
+  EXPECT_EQ(t.total_recorded(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceQuery
+// ---------------------------------------------------------------------------
+
+TEST(ObsTraceQuery, FiltersChain) {
+  sim::Trace t(64);
+  t.record(1, sim::TraceKind::kLhp, 0, 10);
+  t.record(2, sim::TraceKind::kLhp, 1, 11);
+  t.record(3, sim::TraceKind::kLwp, 0, 12);
+  t.record(4, sim::TraceKind::kLhp, 0, 13);
+
+  const TraceQuery q(t);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.of_kind(sim::TraceKind::kLhp).size(), 3u);
+  EXPECT_EQ(q.of_kind(sim::TraceKind::kLhp).with_a(0).size(), 2u);
+  EXPECT_EQ(q.between(2, 3).size(), 2u);  // bounds inclusive
+  EXPECT_EQ(q.with_b(12).first().kind, sim::TraceKind::kLwp);
+  EXPECT_TRUE(q.of_kind(sim::TraceKind::kSaSend).empty());
+  EXPECT_EQ(q.last().when, 4);
+}
+
+}  // namespace
+}  // namespace irs::obs

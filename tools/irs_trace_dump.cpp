@@ -1,0 +1,125 @@
+// irs_trace_dump — run one scenario with tracing enabled and convert the
+// trace to Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+//
+//   $ ./tools/irs_trace_dump [options] [out.json]
+//
+// Options (defaults mirror examples/quickstart):
+//   --fg NAME        foreground workload           (streamcluster)
+//   --bg NAME        interference; "" = run alone  (hog)
+//   --strategy NAME  Xen|PLE|Relaxed-Co|IRS|Delay-Preempt|IRS-Pull  (IRS)
+//   --inter N        #interfered vCPUs             (1)
+//   --seed N         base seed                     (1)
+//   --capacity N     trace ring capacity           (65536)
+//   --batch N        staging-buffer batch size     (default)
+//   --summary        also print the RunResult as JSON on stdout
+//
+// Writes the timeline JSON to the output path (default trace.json) and
+// prints a one-line summary (records, span, drops) to stderr.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/core/strategy.h"
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+#include "src/obs/chrome_trace.h"
+
+namespace {
+
+using namespace irs;
+
+bool parse_strategy(const std::string& name, core::Strategy* out) {
+  const core::Strategy all[] = {
+      core::Strategy::kBaseline,     core::Strategy::kPle,
+      core::Strategy::kRelaxedCo,    core::Strategy::kIrs,
+      core::Strategy::kDelayPreempt, core::Strategy::kIrsPull};
+  for (const core::Strategy s : all) {
+    if (name == core::strategy_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fg NAME] [--bg NAME] [--strategy NAME] "
+               "[--inter N] [--seed N] [--capacity N] [--batch N] "
+               "[--summary] [out.json]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ScenarioConfig cfg;
+  cfg.strategy = core::Strategy::kIrs;
+  cfg.trace_capacity = 1 << 16;
+  std::string out_path = "trace.json";
+  bool print_summary = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--fg") {
+      cfg.fg = next();
+    } else if (arg == "--bg") {
+      cfg.bg = next();
+    } else if (arg == "--strategy") {
+      if (!parse_strategy(next(), &cfg.strategy)) {
+        std::fprintf(stderr, "unknown strategy '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--inter") {
+      cfg.n_inter = std::atoi(next());
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--capacity") {
+      cfg.trace_capacity = static_cast<std::size_t>(
+          std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--batch") {
+      cfg.trace_batch = static_cast<std::size_t>(
+          std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--summary") {
+      print_summary = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      out_path = arg;
+    }
+  }
+
+  exp::TraceDump dump;
+  const exp::RunResult r = exp::run_scenario(cfg, &dump);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << obs::chrome_trace_json(dump.records, dump.meta);
+  out.close();
+  if (out.fail()) {
+    std::fprintf(stderr, "error: write to %s failed\n", out_path.c_str());
+    return 1;
+  }
+
+  if (print_summary) std::printf("%s\n", exp::result_json(r).c_str());
+  std::fprintf(stderr,
+               "%s: %zu records over %.2f ms (%llu of %llu dropped) -> %s\n",
+               dump.meta.title.c_str(), dump.records.size(),
+               sim::to_ms(dump.meta.end - dump.meta.start),
+               static_cast<unsigned long long>(dump.meta.dropped),
+               static_cast<unsigned long long>(dump.meta.total_recorded),
+               out_path.c_str());
+  return 0;
+}
