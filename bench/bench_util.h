@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -72,7 +74,21 @@ class SweepGrid {
   }
 
   /// Execute every registered run on the sweep pool. Call exactly once.
-  void run() { results_ = exp::run_sweep(cfgs_); }
+  /// When IRS_BENCH_NDJSON names a file, every result is also streamed to
+  /// it as NDJSON (one result_json per line, appended in run order) while
+  /// the sweep executes.
+  void run() {
+    if (const char* path = std::getenv("IRS_BENCH_NDJSON")) {
+      std::ofstream out(path, std::ios::app);
+      if (out) {
+        results_ = exp::run_sweep(cfgs_, exp::ndjson_consumer(out));
+        return;
+      }
+      std::cerr << "warning: cannot open IRS_BENCH_NDJSON path '" << path
+                << "'; streaming disabled\n";
+    }
+    results_ = exp::run_sweep(cfgs_);
+  }
 
   /// Seed-averaged result of one cell (run() must have completed).
   [[nodiscard]] exp::RunResult avg(std::size_t cell) const {

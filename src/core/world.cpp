@@ -64,6 +64,11 @@ hv::VmId World::add_vm(const hv::VmConfig& vm_cfg, bool irs_capable,
         host->note_lock_hint(*vmp, cpu, holds);
       });
   vm.set_guest(slot.kernel.get());
+  if (!vm.vcpus().empty()) {
+    // Guest trace records carry global vCPU ids so every timeline consumer
+    // shares one id space with the hv records.
+    slot.kernel->set_trace_vcpu_base(vm.vcpus().front()->id());
+  }
   if (cfg_.trace_batch > 0) {
     slot.kernel->trace_buf().set_batch(cfg_.trace_batch);
   }
@@ -89,6 +94,57 @@ void World::start() {
     for (auto& w : slot.workloads) w->instantiate(*slot.kernel);
     slot.kernel->start();
   }
+  if (cfg_.sample_period > 0) arm_sampler();
+}
+
+void World::arm_sampler() {
+  sampler_ = std::make_unique<obs::Sampler>(
+      eng_, cfg_.sample_period,
+      cfg_.sample_capacity > 0 ? cfg_.sample_capacity
+                               : obs::Sampler::kDefaultCapacity);
+  hv::Host* host = host_.get();
+  sim::Engine* eng = &eng_;
+  const obs::Counters* cnt = &host_->counters();
+
+  // Host-wide tracks.
+  sampler_->add_gauge("hv/runnable_vcpus", [host]() {
+    return static_cast<std::int64_t>(host->runnable_vcpus());
+  });
+  sampler_->add_rate("hv/steal_ns", [host, eng]() {
+    return static_cast<std::int64_t>(host->total_steal(eng->now()));
+  });
+  sampler_->add_counter("hv/preemptions", cnt, obs::Cnt::kHvPreemptions);
+  sampler_->add_counter("hv/lhp", cnt, obs::Cnt::kHvLhp);
+  sampler_->add_counter("hv/lwp", cnt, obs::Cnt::kHvLwp);
+  sampler_->add_counter("hv/sa_sent", cnt, obs::Cnt::kSaSent);
+  sampler_->add_counter("hv/sa_acked", cnt, obs::Cnt::kSaAcked);
+
+  // Per-vCPU tracks: steal rate from runstate accounting, SA deliveries
+  // from the vCPU's counter shard (shard vcpu_id + 1; shard 0 is global).
+  for (int vm_i = 0; vm_i < host_->n_vms(); ++vm_i) {
+    hv::Vm& vm = host_->vm(vm_i);
+    const auto& vs = vm.vcpus();
+    for (std::size_t idx = 0; idx < vs.size(); ++idx) {
+      hv::Vcpu* v = vs[idx];
+      const std::string base =
+          "hv/" + vm.name() + "/vcpu" + std::to_string(idx);
+      sampler_->add_rate(base + "/steal_ns", [v, eng]() {
+        return static_cast<std::int64_t>(v->time_runnable(eng->now()));
+      });
+      sampler_->add_counter(base + "/sa_sent", cnt, obs::Cnt::kSaSent,
+                            v->id() + 1);
+    }
+  }
+
+  // Per-VM guest run-queue depth.
+  for (auto& slot : slots_) {
+    guest::GuestKernel* k = slot.kernel.get();
+    sampler_->add_gauge("guest/" + slot.vm->name() + "/runnable_tasks",
+                        [k]() {
+                          return static_cast<std::int64_t>(k->runnable_tasks());
+                        });
+  }
+  sampler_->start();
 }
 
 bool World::workloads_finished(const Slot& s) const {

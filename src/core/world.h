@@ -12,6 +12,7 @@
 #include "src/core/strategy.h"
 #include "src/guest/guest_kernel.h"
 #include "src/hv/host.h"
+#include "src/obs/sampler.h"
 #include "src/sim/engine.h"
 #include "src/wl/workload.h"
 
@@ -28,6 +29,11 @@ struct WorldConfig {
   /// >0 overrides the staging-buffer batch size of every trace producer
   /// (hypervisor and guests); 0 keeps obs::TraceBuffer::kDefaultBatch.
   std::size_t trace_batch = 0;
+  /// >0 arms an obs::Sampler at start() on this simulated-time cadence.
+  /// 0 (default) disables sampling entirely.
+  sim::Duration sample_period = 0;
+  /// >0 overrides obs::Sampler::kDefaultCapacity per series ring.
+  std::size_t sample_capacity = 0;
 };
 
 class World {
@@ -73,6 +79,8 @@ class World {
   }
   [[nodiscard]] Strategy strategy() const { return cfg_.strategy; }
   [[nodiscard]] sim::Time started_at() const { return t0_; }
+  /// Null unless cfg.sample_period > 0 and start() has run.
+  [[nodiscard]] obs::Sampler* sampler() { return sampler_.get(); }
 
  private:
   struct Slot {
@@ -85,9 +93,12 @@ class World {
   [[nodiscard]] sim::Duration fair_share(const Slot& s,
                                          sim::Duration elapsed) const;
 
+  void arm_sampler();
+
   WorldConfig cfg_;
   sim::Engine eng_;
   std::unique_ptr<hv::Host> host_;
+  std::unique_ptr<obs::Sampler> sampler_;
   std::vector<Slot> slots_;
   sim::Time t0_ = 0;
   bool started_ = false;

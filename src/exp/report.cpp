@@ -87,6 +87,7 @@ void write_result(obs::JsonWriter& w, const RunResult& r) {
   w.field("sa_sent", r.sa_sent);
   w.field("sa_acked", r.sa_acked);
   w.field("sa_delay_avg_ns", static_cast<std::int64_t>(r.sa_delay_avg));
+  w.field("sampler_digest", r.sampler_digest);
   w.end_object();
 }
 
@@ -104,6 +105,67 @@ std::string sweep_json(const std::vector<RunResult>& rs) {
   w.key("results");
   w.begin_array();
   for (const RunResult& r : rs) write_result(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+SweepConsumer ndjson_consumer(std::ostream& out) {
+  return [&out](std::size_t /*i*/, const RunResult& r) {
+    out << result_json(r) << '\n';
+    out.flush();
+  };
+}
+
+void print_attribution(std::ostream& os, const obs::AttributionResult& a) {
+  if (a.head_truncated_at >= 0) {
+    os << "note: trace head truncated at t=" << fmt_ms(a.head_truncated_at)
+       << " — windows opened before that are not charged\n";
+  }
+  Table t({"task", "steal", "lhp", "lwp", "windows", "locks"});
+  for (const obs::TaskCharge& c : a.tasks) {
+    std::string locks;
+    for (const auto& [lock, d] : c.by_lock) {
+      if (!locks.empty()) locks += ", ";
+      locks += lock + "=" + fmt_ms(d);
+    }
+    t.add_row({c.label, fmt_ms(c.total), fmt_ms(c.lhp), fmt_ms(c.lwp),
+               std::to_string(c.windows), locks});
+  }
+  t.print(os);
+  os << "total steal " << fmt_ms(a.total_steal) << ", charged "
+     << fmt_ms(a.charged) << " (" << fmt_f(a.coverage() * 100.0, 1)
+     << "%), uncharged " << fmt_ms(a.uncharged) << "\n";
+}
+
+std::string attribution_json(const obs::AttributionResult& a) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("total_steal_ns", static_cast<std::int64_t>(a.total_steal));
+  w.field("charged_ns", static_cast<std::int64_t>(a.charged));
+  w.field("uncharged_ns", static_cast<std::int64_t>(a.uncharged));
+  w.field("coverage", a.coverage());
+  w.field("head_truncated_at_ns",
+          static_cast<std::int64_t>(a.head_truncated_at));
+  w.key("tasks");
+  w.begin_array();
+  for (const obs::TaskCharge& c : a.tasks) {
+    w.begin_object();
+    w.field("vm", c.vm);
+    w.field("task", c.task);
+    w.field("label", c.label);
+    w.field("steal_ns", static_cast<std::int64_t>(c.total));
+    w.field("lhp_ns", static_cast<std::int64_t>(c.lhp));
+    w.field("lwp_ns", static_cast<std::int64_t>(c.lwp));
+    w.field("windows", c.windows);
+    w.key("by_lock");
+    w.begin_object();
+    for (const auto& [lock, d] : c.by_lock) {
+      w.field(lock.c_str(), static_cast<std::int64_t>(d));
+    }
+    w.end_object();
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
   return w.str();

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/exp/runner.h"
+#include "src/exp/sweep.h"
+#include "src/obs/attribution.h"
 #include "src/sim/time.h"
 
 namespace irs::exp {
@@ -44,5 +46,19 @@ std::string result_json(const RunResult& r);
 /// JSON for a whole sweep: {"results": [result_json...]} with the input
 /// order preserved.
 std::string sweep_json(const std::vector<RunResult>& rs);
+
+/// Streaming NDJSON sink over run_sweep's in-order consumer overload: one
+/// result_json object per line, flushed per run so a killed sweep leaves a
+/// readable prefix. `out` must outlive the sweep.
+SweepConsumer ndjson_consumer(std::ostream& out);
+
+/// Per-task interference breakdown as a fixed-width table: one row per
+/// charged task (largest first) plus totals, coverage, and an explicit
+/// truncation note when the trace ring wrapped.
+void print_attribution(std::ostream& os, const obs::AttributionResult& a);
+
+/// Stable JSON rendering of an AttributionResult (fixed key order,
+/// durations in nanoseconds).
+std::string attribution_json(const obs::AttributionResult& a);
 
 }  // namespace irs::exp

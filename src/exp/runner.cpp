@@ -31,7 +31,12 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   wc.hv = cfg.hv;
   wc.trace_capacity = cfg.trace_capacity;
   wc.trace_batch = cfg.trace_batch;
+  wc.sample_period = cfg.sample_period;
+  wc.sample_capacity = cfg.sample_capacity;
   if (dump != nullptr && wc.trace_capacity == 0) wc.trace_capacity = 1 << 16;
+  if (dump != nullptr && wc.sample_period == 0) {
+    wc.sample_period = obs::Sampler::kDefaultPeriod;
+  }
   core::World world(wc);
 
   // Foreground VM.
@@ -106,6 +111,9 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   r.sa_delay_avg = completed > 0
                        ? st.sa_delay_total / static_cast<sim::Duration>(completed)
                        : 0;
+  if (obs::Sampler* smp = world.sampler()) {
+    r.sampler_digest = smp->digest();
+  }
 
   if (dump != nullptr) {
     sim::Trace& trace = world.host().trace();
@@ -120,11 +128,19 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
       for (const hv::Vcpu* v : vm.vcpus()) {
         dump->meta.vcpus.push_back(obs::VcpuInfo{v->id(), vm.name(), idx++});
       }
+      guest::GuestKernel& k = world.kernel(vm_i);
+      for (std::size_t t = 0; t < k.n_tasks(); ++t) {
+        dump->meta.tasks.push_back(
+            obs::TaskInfo{k.task(t).id(), vm.name(), k.task(t).name()});
+      }
     }
     dump->meta.start = world.started_at();
     dump->meta.end = world.engine().now();
     dump->meta.dropped = trace.dropped();
     dump->meta.total_recorded = trace.total_recorded();
+    if (obs::Sampler* smp = world.sampler()) {
+      dump->series = smp->dump();
+    }
   }
   return r;
 }

@@ -50,6 +50,11 @@ struct ScenarioConfig {
   std::size_t trace_capacity = 0;
   /// >0 overrides the trace staging-buffer batch size (0 = default).
   std::size_t trace_batch = 0;
+  /// >0 arms the counter sampler on this simulated-time cadence; 0 keeps it
+  /// off for plain runs (the dump overload defaults it on).
+  sim::Duration sample_period = 0;
+  /// >0 overrides the per-series ring capacity (0 = sampler default).
+  std::size_t sample_capacity = 0;
 };
 
 /// Metrics extracted from one run.
@@ -70,6 +75,10 @@ struct RunResult {
   std::uint64_t sa_sent = 0;
   std::uint64_t sa_acked = 0;
   sim::Duration sa_delay_avg = 0;
+  /// FNV-1a digest of every sampler series (0 when sampling was off).
+  /// Determinism sentinel: equal configs must produce equal digests
+  /// regardless of sweep thread count.
+  std::uint64_t sampler_digest = 0;
 };
 
 /// A run's trace, captured for export: the snapshot (time-ordered, flushed)
@@ -77,6 +86,8 @@ struct RunResult {
 struct TraceDump {
   std::vector<sim::TraceRecord> records;
   obs::TraceMeta meta;
+  /// Sampler series captured at the end of the run (counter tracks).
+  std::vector<obs::SeriesData> series;
 };
 
 /// Run one scenario.

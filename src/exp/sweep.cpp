@@ -179,6 +179,9 @@ RunResult average_results(const std::vector<RunResult>& rs) {
     acc.irs_migrations += r.irs_migrations;
     acc.sa_sent += r.sa_sent;
     acc.sa_acked += r.sa_acked;
+    // XOR keeps the digest order-independent and zero when sampling was off
+    // everywhere; an average would be meaningless for a hash.
+    acc.sampler_digest ^= r.sampler_digest;
   }
   const double n = static_cast<double>(rs.size());
   acc.fg_makespan = static_cast<sim::Duration>(makespan / n);

@@ -51,9 +51,10 @@ void GuestCpu::upcall_softirq() {
   } else if (current_ == nullptr && !rq_.empty()) {
     install(rq_.pop_leftmost(), /*resume=*/false);
   }
-  kernel_.trace_buf().record(kernel_.engine().now(),
-                             sim::TraceKind::kGuestSwitch, idx_,
-                             t != nullptr ? t->id() : -1, "sa-cs");
+  // Lane record: install() above traced any replacement task; if the CPU
+  // ends up empty the lane goes idle with an "sa-cs" marker so timelines
+  // show the context switcher (not the scheduler) vacated it.
+  if (current_ == nullptr) trace_lane(-1, "sa-cs");
   // Acknowledge: return control to the hypervisor (Algorithm 1 line 15).
   if (current_ == nullptr && rq_.empty()) {
     kernel_.counters().inc(guest_shard(idx_), obs::Cnt::kGuestSaRepliedBlock);

@@ -328,9 +328,18 @@ void GuestCpu::finish_current() {
   pick_next_or_idle();
 }
 
+void GuestCpu::trace_lane(std::int32_t task_id, const char* note) {
+  if (task_id == lane_task_) return;
+  lane_task_ = task_id;
+  kernel_.trace_buf().record(kernel_.engine().now(),
+                             sim::TraceKind::kGuestSwitch,
+                             kernel_.trace_gcpu(idx_), task_id, note);
+}
+
 void GuestCpu::install(Task* next, bool resume) {
   assert(next != nullptr && current_ == nullptr);
   current_ = next;
+  trace_lane(next->id());
   update_lock_hint();
   next->set_cpu(idx_);
   next->set_state(next->spin_waiting != nullptr ? TaskState::kSpinning
@@ -352,6 +361,7 @@ void GuestCpu::pick_next_or_idle() {
     install(next, /*resume=*/true);
     return;
   }
+  trace_lane(-1);
   // The migrator kernel thread has queued work and needs a live vCPU:
   // idle here (without blocking) until it drains — it may well enqueue
   // the migrated task right onto this CPU.
@@ -526,6 +536,7 @@ Task* GuestCpu::yank_current_if_preempted() {
   assert(!exec_active_);  // the vCPU stop folded the execution clock
   Task* t = current_;
   current_ = nullptr;
+  trace_lane(-1, "pull");
   t->set_state(TaskState::kReady);
   return t;
 }

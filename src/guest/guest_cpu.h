@@ -123,6 +123,12 @@ class GuestCpu {
   /// current_ == nullptr: pick from the queue or go idle (SCHEDOP_block).
   void pick_next_or_idle();
 
+  /// Emit a kGuestSwitch lane record when the on-CPU task changes. `a` is
+  /// the global vCPU id, `b` the incoming task (-1 = idle); a span in the
+  /// guest timeline runs from one lane record to the next on the same vCPU.
+  /// Dedups: re-picking the same task (or re-confirming idle) is silent.
+  void trace_lane(std::int32_t task_id, const char* note = "");
+
   void on_tick();           // timer IRQ: raises TIMER softirq
   void timer_softirq();     // tick bottom half: clocks, preemption, balance
   void upcall_softirq();    // IRS context switcher (paper §3.2)
@@ -140,6 +146,7 @@ class GuestCpu {
   int idx_;
   CfsRunqueue rq_;
   Task* current_ = nullptr;
+  std::int32_t lane_task_ = -1;  // last task id traced on this lane
 
   bool vcpu_running_ = false;
   bool exec_active_ = false;

@@ -70,6 +70,10 @@ void GuestKernel::start() {
   for (auto& tp : tasks_) {
     Task& t = *tp;
     if (t.state() != TaskState::kReady || t.cpu() == kNoCpu) continue;
+    // Boot enqueue counts as a wake for the timeline/attribution: the task
+    // is runnable from here on even if its vCPU waits a while for a pCPU.
+    tbuf_.record(eng_.now(), sim::TraceKind::kGuestWake, t.id(),
+                 trace_gcpu(t.cpu()));
     enqueue_task(t, t.cpu(), /*wake_preempt=*/false);
   }
   // CPUs that boot with nothing to run still wake periodically for idle
@@ -99,7 +103,22 @@ hv::PreemptClass GuestKernel::classify_preemption(int vcpu) const {
   if (t == nullptr) return pc;
   pc.holds_lock = t->locks_held > 0;
   pc.waits_lock = t->spin_waiting != nullptr;
+  pc.task = t->id();
+  // LWP names the primitive being spun on; LHP the held lock. A task can be
+  // both (spinning while holding another lock) — the wait wins: that is the
+  // dependency the preemption actually froze.
+  if (pc.waits_lock) {
+    pc.lock_name = t->spin_waiting->wait_name();
+  } else if (pc.holds_lock) {
+    pc.lock_name = t->held_lock_name;
+  }
   return pc;
+}
+
+std::size_t GuestKernel::runnable_tasks() const {
+  std::size_t n = 0;
+  for (const auto& c : cpus_) n += c->nr_running();
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -127,7 +146,8 @@ void GuestKernel::wake_task(Task& t) {
   if (target != from) {
     note_migration(t, from, target, obs::Cnt::kGuestWakeMigrations);
   }
-  tbuf_.record(eng_.now(), sim::TraceKind::kGuestWake, t.id(), target);
+  tbuf_.record(eng_.now(), sim::TraceKind::kGuestWake, t.id(),
+               trace_gcpu(target));
   cpu(target).enqueue_ready(t, /*wake_preempt=*/true);
 }
 
@@ -192,7 +212,8 @@ void GuestKernel::note_migration(Task& t, int from, int to, obs::Cnt ctr) {
   } else {
     t.migrating_tag = false;  // a regular balancer move retires the tag
   }
-  tbuf_.record(eng_.now(), sim::TraceKind::kMigrate, t.id(), to);
+  tbuf_.record(eng_.now(), sim::TraceKind::kMigrate, t.id(), trace_gcpu(to),
+               "", trace_gcpu(from));
 }
 
 void GuestKernel::kick_if_blocked(int c) {

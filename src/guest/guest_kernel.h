@@ -135,6 +135,15 @@ class GuestKernel final : public hv::GuestOs, public SchedApi {
   /// The kernel's trace staging buffer (records are dropped when the host
   /// trace is absent or disabled).
   [[nodiscard]] obs::TraceBuffer& trace_buf() { return tbuf_; }
+  /// Guest trace records identify CPUs by *global* vCPU id so one trace can
+  /// hold several VMs. The base is the global id of this VM's vCPU 0
+  /// (host ids are contiguous per VM); standalone kernels leave it at 0.
+  void set_trace_vcpu_base(int base) { trace_vcpu_base_ = base; }
+  [[nodiscard]] std::int32_t trace_gcpu(int cpu) const {
+    return static_cast<std::int32_t>(trace_vcpu_base_ + cpu);
+  }
+  /// Guest-visible runnable load summed over CPUs (sampler gauge).
+  [[nodiscard]] std::size_t runnable_tasks() const;
   [[nodiscard]] std::size_t n_tasks() const { return tasks_.size(); }
   [[nodiscard]] Task& task(std::size_t i) { return *tasks_.at(i); }
   [[nodiscard]] bool any_cpu_executing() const;
@@ -171,6 +180,7 @@ class GuestKernel final : public hv::GuestOs, public SchedApi {
   double memory_intensity_ = 1.0;
   sim::Rng task_seed_rng_{0xB0BACAFE};
   sim::Rng cost_rng_{0xC05CC05C};
+  int trace_vcpu_base_ = 0;
   bool started_ = false;
 };
 

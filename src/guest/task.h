@@ -68,6 +68,11 @@ class Task {
 
   // --- synchronisation status (for LHP/LWP classification) ---
   int locks_held = 0;
+  /// Name of the most recently acquired still-held lock (nullptr when none).
+  /// Maintained by the sync layer so LHP records can name the lock; with
+  /// nested locks only the innermost name is kept — good enough for
+  /// attribution, which wants *a* culprit, not the full held set.
+  const char* held_lock_name = nullptr;
   /// Primitive this task is busy-waiting on (nullptr when not spinning).
   sync::SpinWaitable* spin_waiting = nullptr;
   std::uint64_t spin_ticket = 0;

@@ -175,13 +175,17 @@ void CreditScheduler::notify_stopped(Vcpu& v, StopReason reason) {
   }
   if (reason == StopReason::kPreempted && v.vm().has_guest()) {
     const PreemptClass pc = v.vm().guest().classify_preemption(v.idx());
+    // c carries the on-CPU task id and note the lock name so attribution
+    // can charge the preemption window to a specific task/lock.
     if (pc.holds_lock) {
       counters_.inc(cnt_shard(v), obs::Cnt::kHvLhp);
-      tbuf_.record(eng_.now(), sim::TraceKind::kLhp, v.id(), v.pcpu());
+      tbuf_.record(eng_.now(), sim::TraceKind::kLhp, v.id(), v.pcpu(),
+                   pc.lock_name != nullptr ? pc.lock_name : "", pc.task);
     }
     if (pc.waits_lock) {
       counters_.inc(cnt_shard(v), obs::Cnt::kHvLwp);
-      tbuf_.record(eng_.now(), sim::TraceKind::kLwp, v.id(), v.pcpu());
+      tbuf_.record(eng_.now(), sim::TraceKind::kLwp, v.id(), v.pcpu(),
+                   pc.lock_name != nullptr ? pc.lock_name : "", pc.task);
     }
   }
   v.guest_active = false;

@@ -13,10 +13,15 @@
 namespace irs::hv {
 
 /// Classification of what a vCPU was doing when it lost its pCPU, used by
-/// metrics to count lock-holder (LHP) and lock-waiter (LWP) preemptions.
+/// metrics to count lock-holder (LHP) and lock-waiter (LWP) preemptions and
+/// by obs::Attribution to charge the preemption window back to a task/lock.
 struct PreemptClass {
   bool holds_lock = false;   // current task holds >=1 lock: LHP
   bool waits_lock = false;   // current task spins/queues on a lock: LWP
+  std::int32_t task = -1;    // on-CPU task id (-1 when the vCPU was idle)
+  /// Name of the lock involved (held for LHP, spun on for LWP). Points at
+  /// sync-layer storage that outlives the classification; may be nullptr.
+  const char* lock_name = nullptr;
 };
 
 /// Interface implemented by guest kernels (see guest::GuestKernel).

@@ -113,6 +113,20 @@ void Host::enable_relaxed_co() {
                                                    tbuf_);
 }
 
+int Host::runnable_vcpus() const {
+  int n = 0;
+  for (const auto& v : vcpus_) {
+    if (v->state() == VcpuState::kRunnable) ++n;
+  }
+  return n;
+}
+
+sim::Duration Host::total_steal(sim::Time now) const {
+  sim::Duration d = 0;
+  for (const auto& v : vcpus_) d += v->time_runnable(now);
+  return d;
+}
+
 Hypercalls& Host::hypercalls(Vm& vm) {
   return *hypercalls_.at(static_cast<std::size_t>(vm.id()));
 }

@@ -65,6 +65,12 @@ class Host {
   [[nodiscard]] int n_vms() const { return static_cast<int>(vms_.size()); }
   [[nodiscard]] Vm& vm(VmId id) { return *vms_.at(id); }
   [[nodiscard]] Vcpu& vcpu(VcpuId id) { return *vcpus_.at(id); }
+  [[nodiscard]] int n_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  /// vCPUs currently runnable-but-not-running (sampler gauge).
+  [[nodiscard]] int runnable_vcpus() const;
+  /// Cumulative runnable-wait (steal) time across all vCPUs up to `now`
+  /// (sampler rate source).
+  [[nodiscard]] sim::Duration total_steal(sim::Time now) const;
   [[nodiscard]] CreditScheduler& sched() { return *sched_; }
   [[nodiscard]] const SchedStats& sched_stats() const { return sched_->stats(); }
   /// Snapshot of the strategy counters, folded across shards on demand.

@@ -10,6 +10,8 @@ namespace {
 
 constexpr int kPidPcpus = 0;
 constexpr int kPidVcpus = 1;
+constexpr int kPidGuest = 2;
+constexpr int kPidCounters = 3;
 
 std::string vcpu_label(const TraceMeta& meta, int vcpu) {
   for (const auto& v : meta.vcpus) {
@@ -18,6 +20,22 @@ std::string vcpu_label(const TraceMeta& meta, int vcpu) {
     }
   }
   return "vcpu" + std::to_string(vcpu);
+}
+
+/// "vm/taskname" for a task seen on `vcpu` (task ids are VM-local).
+std::string task_label(const TraceMeta& meta, int vcpu, std::int32_t task) {
+  const std::string* vm = nullptr;
+  for (const auto& v : meta.vcpus) {
+    if (v.id == vcpu) {
+      vm = &v.vm;
+      break;
+    }
+  }
+  if (vm == nullptr) return "task" + std::to_string(task);
+  for (const auto& t : meta.tasks) {
+    if (t.id == task && t.vm == *vm) return *vm + "/" + t.name;
+  }
+  return *vm + "/task" + std::to_string(task);
 }
 
 void meta_event(JsonWriter& w, const char* name, int pid, int tid,
@@ -46,18 +64,33 @@ void span_event(JsonWriter& w, const std::string& name, int pid, int tid,
       .end_object();
 }
 
-void flow_event(JsonWriter& w, const char* ph, std::uint64_t id, int tid,
+void flow_event(JsonWriter& w, const char* ph, const std::string& name,
+                const char* cat, std::uint64_t id, int pid, int tid,
                 sim::Time when, bool binding_next) {
   w.begin_object()
-      .field("name", "sa")
-      .field("cat", "sa")
+      .field("name", name)
+      .field("cat", cat)
       .field("ph", ph)
       .field("id", id)
-      .field("pid", kPidVcpus)
+      .field("pid", pid)
       .field("tid", tid)
       .field("ts", sim::to_us(when));
   if (binding_next) w.field("bp", "e");
   w.end_object();
+}
+
+void counter_event(JsonWriter& w, const std::string& name, sim::Time when,
+                   std::int64_t value) {
+  w.begin_object()
+      .field("name", name)
+      .field("ph", "C")
+      .field("pid", kPidCounters)
+      .field("ts", sim::to_us(when))
+      .key("args")
+      .begin_object()
+      .field("value", value)
+      .end_object()
+      .end_object();
 }
 
 void instant_event(JsonWriter& w, const std::string& name, int pid, int tid,
@@ -79,6 +112,12 @@ void instant_event(JsonWriter& w, const std::string& name, int pid, int tid,
 
 std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
                               const TraceMeta& meta) {
+  return chrome_trace_json(records, meta, ChromeTraceOptions{});
+}
+
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
+                              const TraceMeta& meta,
+                              const ChromeTraceOptions& opt) {
   JsonWriter w;
   w.begin_object()
       .field("displayTimeUnit", "ms")
@@ -94,17 +133,30 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
   for (const auto& v : meta.vcpus) {
     meta_event(w, "thread_name", kPidVcpus, v.id, vcpu_label(meta, v.id));
   }
+  if (opt.guest_lanes) {
+    meta_event(w, "process_name", kPidGuest, 0, "guest tasks");
+    for (const auto& v : meta.vcpus) {
+      meta_event(w, "thread_name", kPidGuest, v.id, vcpu_label(meta, v.id));
+    }
+  }
+  if (opt.counters != nullptr && !opt.counters->empty()) {
+    meta_event(w, "process_name", kPidCounters, 0, "counters");
+  }
 
   if (meta.dropped > 0) {
+    // Place the marker where the retained portion begins: everything before
+    // this timestamp was dropped when the ring wrapped.
+    const sim::Time head = records.empty() ? meta.start : records.front().when;
     w.begin_object()
         .field("name", "trace truncated")
         .field("ph", "i")
         .field("s", "g")
         .field("pid", kPidPcpus)
         .field("tid", 0)
-        .field("ts", sim::to_us(meta.start))
+        .field("ts", sim::to_us(head))
         .key("args")
         .begin_object()
+        .field("head_us", sim::to_us(head))
         .field("dropped", meta.dropped)
         .field("total_recorded", meta.total_recorded)
         .end_object()
@@ -115,7 +167,14 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
   std::map<int, std::pair<int, sim::Time>> on_cpu;
   // vCPU id -> flow id of an SA send still awaiting its ack.
   std::map<int, std::uint64_t> pending_sa;
+  // Guest lanes: vCPU id -> (task, on-vcpu-since) for the open task span.
+  std::map<int, std::pair<std::int32_t, sim::Time>> on_vcpu;
   std::uint64_t next_flow_id = 1;
+
+  auto close_guest_span = [&](int vcpu, std::int32_t task, sim::Time start,
+                              sim::Time end) {
+    span_event(w, task_label(meta, vcpu, task), kPidGuest, vcpu, start, end);
+  };
 
   auto close_span = [&](int vcpu, int pcpu, sim::Time start, sim::Time end) {
     const std::string label = vcpu_label(meta, vcpu);
@@ -147,23 +206,46 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
       case sim::TraceKind::kSaSend: {
         const std::uint64_t id = next_flow_id++;
         pending_sa[r.a] = id;
-        flow_event(w, "s", id, r.a, r.when, /*binding_next=*/false);
+        flow_event(w, "s", "sa", "sa", id, kPidVcpus, r.a, r.when,
+                   /*binding_next=*/false);
         break;
       }
       case sim::TraceKind::kSaAck: {
         auto it = pending_sa.find(r.a);
         if (it != pending_sa.end()) {
-          flow_event(w, "f", it->second, r.a, r.when, /*binding_next=*/true);
+          flow_event(w, "f", "sa", "sa", it->second, kPidVcpus, r.a, r.when,
+                     /*binding_next=*/true);
           pending_sa.erase(it);
         }
         break;
       }
       case sim::TraceKind::kLhp:
-        instant_event(w, "LHP", kPidVcpus, r.a, r.when, "t", r.b);
+        instant_event(w, "LHP", kPidVcpus, r.a, r.when, "t", r.c);
         break;
       case sim::TraceKind::kLwp:
-        instant_event(w, "LWP", kPidVcpus, r.a, r.when, "t", r.b);
+        instant_event(w, "LWP", kPidVcpus, r.a, r.when, "t", r.c);
         break;
+      case sim::TraceKind::kGuestSwitch: {
+        if (!opt.guest_lanes) break;
+        auto it = on_vcpu.find(r.a);
+        if (it != on_vcpu.end()) {
+          close_guest_span(r.a, it->second.first, it->second.second, r.when);
+          on_vcpu.erase(it);
+        }
+        if (r.b >= 0) on_vcpu[r.a] = {r.b, r.when};
+        break;
+      }
+      case sim::TraceKind::kMigrate: {
+        if (!opt.guest_lanes) break;
+        // a = task, b = destination vCPU, c = source vCPU.
+        const std::uint64_t id = next_flow_id++;
+        const std::string label = task_label(meta, r.b, r.a);
+        flow_event(w, "s", label, "migrate", id, kPidGuest, r.c, r.when,
+                   /*binding_next=*/false);
+        flow_event(w, "f", label, "migrate", id, kPidGuest, r.b, r.when,
+                   /*binding_next=*/true);
+        break;
+      }
       default:
         break;
     }
@@ -173,6 +255,17 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
   // gives deterministic vCPU-id order).
   for (const auto& [vcpu, span] : on_cpu) {
     close_span(vcpu, span.first, span.second, meta.end);
+  }
+  for (const auto& [vcpu, span] : on_vcpu) {
+    close_guest_span(vcpu, span.first, span.second, meta.end);
+  }
+
+  if (opt.counters != nullptr) {
+    for (const auto& s : *opt.counters) {
+      for (const auto& smp : s.samples) {
+        counter_event(w, s.name, smp.when, smp.value);
+      }
+    }
   }
 
   w.end_array().end_object();

@@ -8,14 +8,21 @@
 //   - one "vCPUs" process mirroring the same spans per vCPU lane, where SA
 //     send→ack pairs render as flow ("s"/"f") arrows and LHP/LWP events as
 //     instants ("i");
+//   - optionally (ChromeTraceOptions::guest_lanes) a "guest tasks" process
+//     with a lane per vCPU showing which guest task is on-vCPU, folded from
+//     kGuestSwitch records, plus migration flow arrows from kMigrate;
+//   - optionally (ChromeTraceOptions::counters) Perfetto "C" counter tracks
+//     rendered from sampler series;
 //   - a truncation metadata instant when the ring wrapped and dropped
-//     records.
+//     records, placed at the first *retained* timestamp so the gap is
+//     visible where it actually is.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/obs/sampler.h"
 #include "src/sim/trace.h"
 
 namespace irs::obs {
@@ -27,18 +34,36 @@ struct VcpuInfo {
   int idx = 0;         // index within the VM
 };
 
+/// Guest task names, for labelling guest-lane spans and attribution rows.
+/// Task ids are VM-local, so the pair (vm, id) identifies a task.
+struct TaskInfo {
+  int id = 0;
+  std::string vm;
+  std::string name;
+};
+
 struct TraceMeta {
   std::string title = "irs run";
   int n_pcpus = 0;
   std::vector<VcpuInfo> vcpus;
+  std::vector<TaskInfo> tasks;
   sim::Time start = 0;
   sim::Time end = 0;
   std::uint64_t dropped = 0;         // Trace::dropped()
   std::uint64_t total_recorded = 0;  // Trace::total_recorded()
 };
 
+struct ChromeTraceOptions {
+  bool guest_lanes = false;
+  /// When set, each series renders as a Perfetto "C" counter track.
+  const std::vector<SeriesData>* counters = nullptr;
+};
+
 /// Records must be in snapshot order (sorted by (when, seq)).
 std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
                               const TraceMeta& meta);
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
+                              const TraceMeta& meta,
+                              const ChromeTraceOptions& opt);
 
 }  // namespace irs::obs

@@ -45,10 +45,10 @@ class TraceBuffer {
   }
 
   void record(sim::Time when, sim::TraceKind kind, std::int32_t a,
-              std::int32_t b, const char* note = "") {
+              std::int32_t b, const char* note = "", std::int32_t c = -1) {
     if (!enabled()) return;
     staged_.push_back(
-        sim::TraceRecord{when, trace_->alloc_seq(), kind, a, b, note});
+        sim::TraceRecord{when, trace_->alloc_seq(), kind, a, b, c, note});
     if (staged_.size() >= batch_) flush();
   }
 

@@ -48,9 +48,9 @@ void Trace::push(const TraceRecord& rec) {
 }
 
 void Trace::record(Time when, TraceKind kind, std::int32_t a, std::int32_t b,
-                   const char* note) {
+                   const char* note, std::int32_t c) {
   if (!enabled()) return;
-  push(TraceRecord{when, alloc_seq(), kind, a, b, note});
+  push(TraceRecord{when, alloc_seq(), kind, a, b, c, note});
 }
 
 void Trace::append_block(const TraceRecord* recs, std::size_t n) {

@@ -75,6 +75,7 @@ struct TraceRecord {
   TraceKind kind = TraceKind::kUser;
   std::int32_t a = -1;  // subsystem-defined (e.g. vCPU id)
   std::int32_t b = -1;  // subsystem-defined (e.g. pCPU or task id)
+  std::int32_t c = -1;  // subsystem-defined third payload (e.g. source vCPU)
   TraceNote note;
 };
 
@@ -91,7 +92,7 @@ class Trace {
   void set_capacity(std::size_t capacity);
 
   void record(Time when, TraceKind kind, std::int32_t a, std::int32_t b,
-              const char* note = "");
+              const char* note = "", std::int32_t c = -1);
 
   /// Sequence number for a record produced into a staging buffer. Must be
   /// drawn at record time (see TraceRecord::seq).

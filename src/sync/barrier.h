@@ -32,6 +32,8 @@ class Barrier final : public SpinWaitable {
   /// SpinWaitable: a spinning waiter resumed execution.
   void poll(guest::Task& t) override;
 
+  [[nodiscard]] const char* wait_name() const override { return name_.c_str(); }
+
   [[nodiscard]] int parties() const { return parties_; }
   [[nodiscard]] int arrived() const { return arrived_; }
   [[nodiscard]] std::uint64_t generation() const { return generation_; }

@@ -10,6 +10,7 @@ AcquireResult Mutex::lock(guest::Task& t) {
     assert(waiters_.empty());
     owner_ = &t;
     ++t.locks_held;
+    t.held_lock_name = name_.c_str();
     return AcquireResult::kAcquired;
   }
   assert(owner_ != &t && "mutex is not recursive");
@@ -22,6 +23,7 @@ AcquireResult Mutex::lock(guest::Task& t) {
 void Mutex::unlock(guest::Task& t) {
   assert(owner_ == &t && "unlock by non-owner");
   --t.locks_held;
+  if (t.locks_held == 0) t.held_lock_name = nullptr;
   owner_ = nullptr;
   if (waiters_.empty()) return;
   guest::Task* next = waiters_.front();

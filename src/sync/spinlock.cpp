@@ -9,6 +9,7 @@ SpinResult SpinLock::lock(guest::Task& t) {
   if (owner_ == nullptr && waiters_.empty()) {
     owner_ = &t;
     ++t.locks_held;
+    t.held_lock_name = name_.c_str();
     return SpinResult::kAcquired;
   }
   waiters_.push_back(&t);
@@ -22,12 +23,14 @@ void SpinLock::grant(guest::Task& t) {
   waiters_.erase(it);
   owner_ = &t;
   ++t.locks_held;
+  t.held_lock_name = name_.c_str();
   api_.spin_granted(t);
 }
 
 void SpinLock::unlock(guest::Task& t) {
   assert(owner_ == &t && "unlock by non-owner");
   --t.locks_held;
+  if (t.locks_held == 0) t.held_lock_name = nullptr;
   owner_ = nullptr;
   if (waiters_.empty()) return;
   if (kind_ == SpinKind::kTicket) {

@@ -41,6 +41,7 @@ class SpinLock final : public SpinWaitable {
   [[nodiscard]] std::size_t n_waiters() const { return waiters_.size(); }
   [[nodiscard]] SpinKind kind() const { return kind_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const char* wait_name() const override { return name_.c_str(); }
 
  private:
   void grant(guest::Task& t);

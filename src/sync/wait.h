@@ -31,6 +31,9 @@ class SpinWaitable {
  public:
   virtual ~SpinWaitable() = default;
   virtual void poll(guest::Task& t) = 0;
+  /// Name of the primitive being waited on, for LWP attribution. The
+  /// returned storage must outlive the waitable.
+  [[nodiscard]] virtual const char* wait_name() const { return "spin"; }
 };
 
 }  // namespace irs::sync

@@ -147,20 +147,61 @@ std::vector<sim::TraceRecord> tiny_records() {
   std::vector<sim::TraceRecord> rs;
   std::uint64_t seq = 0;
   auto add = [&](sim::Time when, TraceKind k, std::int32_t a, std::int32_t b,
-                 const char* note = "") {
-    rs.push_back(sim::TraceRecord{when, seq++, k, a, b, note});
+                 const char* note = "", std::int32_t c = -1) {
+    rs.push_back(sim::TraceRecord{when, seq++, k, a, b, c, note});
   };
   add(sim::milliseconds(1), TraceKind::kHvSchedule, 0, 0);
   add(sim::milliseconds(1), TraceKind::kHvSchedule, 1, 1);
   add(sim::milliseconds(2), TraceKind::kSaSend, 1, -1);
-  add(sim::microseconds(2500), TraceKind::kLhp, 0, 5);
+  add(sim::microseconds(2500), TraceKind::kLhp, 0, 0, "runq", 5);
   add(sim::milliseconds(3), TraceKind::kHvPreempt, 0, 0);
   add(sim::microseconds(3500), TraceKind::kSaAck, 1, -1);
-  add(sim::milliseconds(4), TraceKind::kLwp, 1, 6);
+  add(sim::milliseconds(4), TraceKind::kLwp, 1, 1, "flock", 6);
   add(sim::microseconds(4500), TraceKind::kHvSchedule, 2, 0, "steal");
   add(sim::milliseconds(5), TraceKind::kHvSchedule, 2, 0);  // resched split
   add(sim::milliseconds(6), TraceKind::kHvBlock, 2, 0);
   return rs;  // vCPU 1 stays on-CPU; closed at meta.end
+}
+
+/// tiny_records() interleaved with guest-lane events: task switches on both
+/// fg vCPUs, an idle gap when vCPU 0 is preempted, and a migration.
+std::vector<sim::TraceRecord> tiny_full_records() {
+  using sim::TraceKind;
+  std::vector<sim::TraceRecord> rs;
+  std::uint64_t seq = 0;
+  auto add = [&](sim::Time when, TraceKind k, std::int32_t a, std::int32_t b,
+                 const char* note = "", std::int32_t c = -1) {
+    rs.push_back(sim::TraceRecord{when, seq++, k, a, b, c, note});
+  };
+  add(sim::milliseconds(1), TraceKind::kHvSchedule, 0, 0);
+  add(sim::milliseconds(1), TraceKind::kHvSchedule, 1, 1);
+  add(sim::milliseconds(1), TraceKind::kGuestSwitch, 0, 101);
+  add(sim::milliseconds(1), TraceKind::kGuestSwitch, 1, 102);
+  add(sim::milliseconds(2), TraceKind::kSaSend, 1, -1);
+  add(sim::microseconds(2500), TraceKind::kLhp, 0, 0, "runq", 101);
+  add(sim::milliseconds(3), TraceKind::kHvPreempt, 0, 0);
+  add(sim::microseconds(3500), TraceKind::kSaAck, 1, -1);
+  add(sim::microseconds(3500), TraceKind::kGuestSwitch, 1, -1, "sa-cs");
+  add(sim::microseconds(3500), TraceKind::kMigrate, 101, 1, "", 0);
+  add(sim::microseconds(3500), TraceKind::kGuestSwitch, 1, 101);
+  add(sim::milliseconds(4), TraceKind::kLwp, 1, 1, "flock", 102);
+  add(sim::microseconds(4500), TraceKind::kHvSchedule, 2, 0, "steal");
+  add(sim::milliseconds(5), TraceKind::kHvSchedule, 2, 0);
+  add(sim::milliseconds(6), TraceKind::kHvBlock, 2, 0);
+  return rs;  // vCPU 1 and task 101's guest span close at meta.end
+}
+
+std::vector<SeriesData> tiny_series() {
+  std::vector<SeriesData> out;
+  out.push_back(SeriesData{
+      "hv/lhp",
+      {{sim::milliseconds(1), 0}, {sim::milliseconds(3), 1}},
+      0});
+  out.push_back(SeriesData{
+      "hv/runnable_vcpus",
+      {{sim::milliseconds(1), 0}, {sim::milliseconds(3), 1}},
+      0});
+  return out;
 }
 
 TraceMeta tiny_meta() {
@@ -172,6 +213,12 @@ TraceMeta tiny_meta() {
   m.end = sim::milliseconds(10);
   m.dropped = 2;
   m.total_recorded = 12;
+  return m;
+}
+
+TraceMeta tiny_full_meta() {
+  TraceMeta m = tiny_meta();
+  m.tasks = {{101, "fg", "worker0"}, {102, "fg", "worker1"}};
   return m;
 }
 
@@ -194,6 +241,63 @@ TEST(ObsExport, GoldenTinyTrace) {
   EXPECT_EQ(json, ss.str())
       << "exporter output drifted from the golden file; if intentional, "
          "regenerate with IRS_REGEN_GOLDEN=1";
+}
+
+TEST(ObsExport, GoldenTinyTraceFull) {
+  // Guest lanes + counter tracks on top of the hv timeline, golden-checked
+  // byte-for-byte like the plain variant.
+  const auto series = tiny_series();
+  ChromeTraceOptions opt;
+  opt.guest_lanes = true;
+  opt.counters = &series;
+  const std::string json =
+      chrome_trace_json(tiny_full_records(), tiny_full_meta(), opt);
+  ASSERT_TRUE(balanced_json(json)) << json;
+
+  const std::string path =
+      std::string(IRS_GOLDEN_DIR) + "/tiny_trace_full.json";
+  if (std::getenv("IRS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << json;
+    ASSERT_TRUE(out.good()) << "could not regenerate " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with IRS_REGEN_GOLDEN=1 to create)";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(json, ss.str())
+      << "exporter output drifted from the golden file; if intentional, "
+         "regenerate with IRS_REGEN_GOLDEN=1";
+}
+
+TEST(ObsExport, TinyTraceFullStructure) {
+  const auto series = tiny_series();
+  ChromeTraceOptions opt;
+  opt.guest_lanes = true;
+  opt.counters = &series;
+  const std::string json =
+      chrome_trace_json(tiny_full_records(), tiny_full_meta(), opt);
+  // Guest process with labelled task spans.
+  EXPECT_NE(json.find("\"guest tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"fg/worker0\""), std::string::npos);
+  EXPECT_NE(json.find("\"fg/worker1\""), std::string::npos);
+  // The migration renders as a flow pair in the "migrate" category.
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"migrate\""), 2);
+  // Counter tracks: one "C" event per sample, under the counters process.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 4);
+  EXPECT_NE(json.find("\"hv/lhp\""), std::string::npos);
+  EXPECT_NE(json.find("\"hv/runnable_vcpus\""), std::string::npos);
+  // LHP instant carries the on-CPU task id from the record's c payload.
+  EXPECT_NE(json.find("\"task\":101"), std::string::npos);
+  // Truncation marker sits at the first retained timestamp, not t=0.
+  EXPECT_NE(json.find("\"head_us\":1000"), std::string::npos);
+  // Options off ⇒ guest records are ignored (plain overload unchanged).
+  const std::string plain =
+      chrome_trace_json(tiny_full_records(), tiny_full_meta());
+  EXPECT_EQ(plain.find("\"guest tasks\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(plain, "\"ph\":\"C\""), 0);
 }
 
 TEST(ObsExport, TinyTraceStructure) {

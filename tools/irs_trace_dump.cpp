@@ -12,6 +12,9 @@
 //   --capacity N     trace ring capacity           (65536)
 //   --batch N        staging-buffer batch size     (default)
 //   --summary        also print the RunResult as JSON on stdout
+//   --guest-lanes    add per-vCPU guest task lanes + migration arrows
+//   --counters       add sampler counter tracks ("C" events)
+//   --attribution    print the per-task interference breakdown (stdout)
 //
 // Writes the timeline JSON to the output path (default trace.json) and
 // prints a one-line summary (records, span, drops) to stderr.
@@ -20,11 +23,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "src/core/strategy.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
+#include "src/obs/attribution.h"
 #include "src/obs/chrome_trace.h"
 
 namespace {
@@ -49,7 +54,8 @@ bool parse_strategy(const std::string& name, core::Strategy* out) {
   std::fprintf(stderr,
                "usage: %s [--fg NAME] [--bg NAME] [--strategy NAME] "
                "[--inter N] [--seed N] [--capacity N] [--batch N] "
-               "[--summary] [out.json]\n",
+               "[--summary] [--guest-lanes] [--counters] [--attribution] "
+               "[out.json]\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +68,9 @@ int main(int argc, char** argv) {
   cfg.trace_capacity = 1 << 16;
   std::string out_path = "trace.json";
   bool print_summary = false;
+  bool guest_lanes = false;
+  bool counters = false;
+  bool attribution = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +99,12 @@ int main(int argc, char** argv) {
           std::strtoull(next(), nullptr, 10));
     } else if (arg == "--summary") {
       print_summary = true;
+    } else if (arg == "--guest-lanes") {
+      guest_lanes = true;
+    } else if (arg == "--counters") {
+      counters = true;
+    } else if (arg == "--attribution") {
+      attribution = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
@@ -106,7 +121,10 @@ int main(int argc, char** argv) {
                  out_path.c_str());
     return 1;
   }
-  out << obs::chrome_trace_json(dump.records, dump.meta);
+  obs::ChromeTraceOptions opt;
+  opt.guest_lanes = guest_lanes;
+  if (counters) opt.counters = &dump.series;
+  out << obs::chrome_trace_json(dump.records, dump.meta, opt);
   out.close();
   if (out.fail()) {
     std::fprintf(stderr, "error: write to %s failed\n", out_path.c_str());
@@ -114,6 +132,10 @@ int main(int argc, char** argv) {
   }
 
   if (print_summary) std::printf("%s\n", exp::result_json(r).c_str());
+  if (attribution) {
+    const obs::AttributionResult a = obs::attribute(dump.records, dump.meta);
+    exp::print_attribution(std::cout, a);
+  }
   std::fprintf(stderr,
                "%s: %zu records over %.2f ms (%llu of %llu dropped) -> %s\n",
                dump.meta.title.c_str(), dump.records.size(),
