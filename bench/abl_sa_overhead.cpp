@@ -30,7 +30,7 @@ int main() {
     cfg.hv.sa_ack_cap = sim::microseconds(cap_us);
     cap_cells.push_back(grid.add(cfg, seeds));
   }
-  grid.run();
+  if (!grid.run()) return 0;  // shard mode: results live in the NDJSON file
 
   exp::banner(std::cout,
               "SA processing delay per application (paper: 20-26us)");

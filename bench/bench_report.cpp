@@ -72,32 +72,6 @@ double measure_churn() {
   return 3.0 * kIters / sec;
 }
 
-std::vector<exp::ScenarioConfig> fig05_grid(int seeds) {
-  const bool fast = std::getenv("IRS_BENCH_FAST") != nullptr;
-  std::vector<std::string> apps = wl::parsec_names();
-  std::vector<int> inter = {1, 2, 4};
-  if (fast) {
-    apps.resize(apps.size() < 3 ? apps.size() : 3);
-    inter = {1};
-  }
-  const std::vector<core::Strategy> strategies = {
-      core::Strategy::kBaseline, core::Strategy::kPle,
-      core::Strategy::kRelaxedCo, core::Strategy::kIrs};
-  std::vector<exp::ScenarioConfig> grid;
-  for (const auto& app : apps) {
-    for (const int n : inter) {
-      for (const auto s : strategies) {
-        bench::PanelOptions o;
-        for (const auto& cfg :
-             exp::seed_grid(bench::make_cfg(app, s, n, o), seeds)) {
-          grid.push_back(cfg);
-        }
-      }
-    }
-  }
-  return grid;
-}
-
 /// ns per record into an enabled ring, either direct (`batch` 0) or through
 /// a staging TraceBuffer with the given batch size.
 double measure_trace_ns(std::size_t batch) {
@@ -150,18 +124,6 @@ double read_metric(const std::string& path, const std::string& key) {
   return std::strtod(text.c_str() + pos + needle.size(), nullptr);
 }
 
-bool identical(const exp::RunResult& a, const exp::RunResult& b) {
-  return a.finished == b.finished && a.fg_makespan == b.fg_makespan &&
-         a.fg_util_vs_fair == b.fg_util_vs_fair &&
-         a.fg_efficiency == b.fg_efficiency &&
-         a.bg_progress_rate == b.bg_progress_rate &&
-         a.throughput == b.throughput && a.lat_mean == b.lat_mean &&
-         a.lat_p99 == b.lat_p99 && a.lhp == b.lhp && a.lwp == b.lwp &&
-         a.irs_migrations == b.irs_migrations && a.sa_sent == b.sa_sent &&
-         a.sa_acked == b.sa_acked && a.sa_delay_avg == b.sa_delay_avg &&
-         a.sampler_digest == b.sampler_digest;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,7 +133,26 @@ int main(int argc, char** argv) {
   const double churn = measure_churn();
 
   const int seeds = exp::bench_seeds();
-  const auto grid = fig05_grid(seeds);
+  const bool fast = std::getenv("IRS_BENCH_FAST") != nullptr;
+  // The sweep is panel (a) of Figure 5 from the shared grid registry — the
+  // same rows `irs_sweep --fig fig05a` runs, so sharded reproduction and
+  // this bench measure one and the same grid.
+  const auto full_grid = exp::figure_grid("fig05a", {seeds, fast});
+  // IRS_BENCH_SHARD=i/N restricts the timed sweep (and the NDJSON stream
+  // below) to one round-robin shard of that grid, for splitting the bench
+  // across hosts; the shard identity is recorded in the report.
+  exp::ShardSpec shard;
+  std::string shard_str = "0/1";
+  if (const char* spec = std::getenv("IRS_BENCH_SHARD")) {
+    if (!exp::parse_shard_spec(spec, &shard)) {
+      std::cerr << "error: bad IRS_BENCH_SHARD '" << spec << "' (want i/N)\n";
+      return 2;
+    }
+    shard_str = spec;
+  }
+  const auto owned =
+      exp::shard_run_indices(full_grid.size(), shard.index, shard.count);
+  const auto grid = exp::shard_grid(full_grid, shard.index, shard.count);
   int jobs = 8;
   if (const char* s = std::getenv("IRS_BENCH_JOBS")) {
     const int n = std::atoi(s);
@@ -179,21 +160,43 @@ int main(int argc, char** argv) {
   }
 
   std::cerr << "[bench_report] fig05-sized sweep, " << grid.size()
-            << " runs, serial...\n";
+            << (shard.count > 1 ? " runs (shard " + shard_str + ")" : " runs")
+            << ", serial...\n";
   const auto t_serial = std::chrono::steady_clock::now();
   const auto serial = exp::run_sweep(grid, /*n_threads=*/1);
   const double serial_sec = wall_seconds(t_serial);
 
   std::cerr << "[bench_report] same sweep, " << jobs
             << " jobs, streaming consumer...\n";
+  // In shard mode the parallel pass also streams the shard NDJSON file
+  // (exp::shard format, global run indices) when IRS_BENCH_NDJSON is set,
+  // so a sharded bench doubles as a shard of the figure sweep.
+  std::ofstream ndjson;
+  if (const char* path = std::getenv("IRS_BENCH_NDJSON")) {
+    ndjson.open(path, std::ios::app);
+    if (ndjson) {
+      exp::ShardHeader h;
+      h.shard = shard.index;
+      h.n_shards = shard.count;
+      h.total_runs = full_grid.size();
+      h.fig = "fig05a";
+      h.seeds = seeds;
+      ndjson << exp::shard_header_json(h) << '\n';
+      ndjson.flush();
+    }
+  }
   std::size_t delivered = 0;
   bool in_order = true;
   const auto t_par = std::chrono::steady_clock::now();
   const auto parallel = exp::run_sweep(
       grid,
-      [&](std::size_t i, const exp::RunResult&) {
+      [&](std::size_t i, const exp::RunResult& r) {
         in_order = in_order && i == delivered;
         ++delivered;
+        if (ndjson.is_open()) {
+          ndjson << exp::shard_line_json(owned[i], r) << '\n';
+          ndjson.flush();
+        }
       },
       jobs);
   const double par_sec = wall_seconds(t_par);
@@ -201,7 +204,7 @@ int main(int argc, char** argv) {
   bool bit_identical = serial.size() == parallel.size() &&
                        delivered == grid.size() && in_order;
   for (std::size_t i = 0; bit_identical && i < serial.size(); ++i) {
-    bit_identical = identical(serial[i], parallel[i]);
+    bit_identical = exp::results_identical(serial[i], parallel[i]);
   }
 
   std::cerr << "[bench_report] trace pipeline overhead...\n";
@@ -266,6 +269,7 @@ int main(int argc, char** argv) {
       << "  \"churn_speedup_vs_seed\": " << churn / kSeedChurnEventsPerSec
       << ",\n"
       << "  \"sweep_runs\": " << grid.size() << ",\n"
+      << "  \"sweep_shard\": \"" << shard_str << "\",\n"
       << "  \"sweep_seeds_per_point\": " << seeds << ",\n"
       << "  \"sweep_secs_serial\": " << serial_sec << ",\n"
       << "  \"sweep_secs_parallel\": " << par_sec << ",\n"

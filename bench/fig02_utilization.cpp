@@ -44,7 +44,7 @@ int main() {
   }
   add_one("raytrace", "PARSEC (work-steal)", false);
 
-  grid.run();
+  if (!grid.run()) return 0;  // shard mode: results live in the NDJSON file
   for (const Entry& e : entries) {
     const exp::RunResult r = grid.avg(e.cell);
     t.add_row({e.app, e.suite, exp::fmt_f(r.fg_util_vs_fair, 2),

@@ -39,7 +39,7 @@ int main() {
     }
     points.push_back(std::move(row));
   }
-  grid.run();
+  if (!grid.run()) return 0;  // shard mode: results live in the NDJSON file
 
   for (std::size_t a = 0; a < apps.size(); ++a) {
     const std::string& app = apps[a];

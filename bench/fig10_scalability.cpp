@@ -45,7 +45,7 @@ void panel(const std::string& app, bool npb_spinning,
     }
     points.push_back(std::move(row));
   }
-  grid.run();
+  if (!grid.run()) return;  // shard mode: results live in the NDJSON file
 
   for (std::size_t b = 0; b < bgs.size(); ++b) {
     std::vector<std::string> row = {"w/ " + bgs[b]};

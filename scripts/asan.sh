@@ -8,5 +8,5 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-asan -S . -DIRS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j --target irs_tests
+cmake --build build-asan -j --target irs_tests irs_sweep irs_sweep_merge
 cd build-asan && ctest --output-on-failure -j

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Sharded-sweep round-trip check: run the smoke grid once in a single
+# process and once as N local shard subprocesses, merge + verify the
+# shards, and require the merged NDJSON to be byte-identical to the
+# single-process file. This is the acceptance test of the sharded-sweep
+# layer, runnable standalone or as the sweep_shard_asan CTest job.
+#
+#   IRS_SWEEP=build/tools/irs_sweep \
+#   IRS_SWEEP_MERGE=build/tools/irs_sweep_merge \
+#   scripts/shard_roundtrip.sh [fig] [n_shards] [seeds]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FIG="${1:-smoke}"
+N_SHARDS="${2:-4}"
+SEEDS="${3:-1}"
+SWEEP="${IRS_SWEEP:-build/tools/irs_sweep}"
+MERGE="${IRS_SWEEP_MERGE:-build/tools/irs_sweep_merge}"
+
+for bin in "$SWEEP" "$MERGE"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build build --target irs_sweep irs_sweep_merge)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== shard round-trip: --fig $FIG, $N_SHARDS shards, $SEEDS seed(s)"
+
+# Single-process reference (the canonical 0/1 shard file).
+"$SWEEP" --fig "$FIG" --seeds "$SEEDS" --ndjson "$WORK/full.ndjson"
+
+# N local shard subprocesses, merged and verified by the parent.
+"$SWEEP" --fig "$FIG" --seeds "$SEEDS" --shards "$N_SHARDS" \
+  --out-dir "$WORK" --merge "$WORK/merged.ndjson" > "$WORK/summary.json"
+
+# The independently-built merge CLI must agree and exit clean.
+"$MERGE" --out "$WORK/merged2.ndjson" --repair-plan \
+  "$WORK"/shard[0-9]*.ndjson > "$WORK/summary2.json"
+
+cmp "$WORK/full.ndjson" "$WORK/merged.ndjson"
+cmp "$WORK/full.ndjson" "$WORK/merged2.ndjson"
+echo "== merged $N_SHARDS shards byte-identical to the single-process sweep"

@@ -6,4 +6,8 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . "$@"
 cmake --build build -j
-cd build && ctest --output-on-failure -j
+(cd build && ctest --output-on-failure -j)
+
+# Sharded-sweep round-trip: N local shard subprocesses merged must be
+# byte-identical to the single-process sweep.
+scripts/shard_roundtrip.sh

@@ -69,10 +69,7 @@ void banner(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
 }
 
-namespace {
-
-void write_result(obs::JsonWriter& w, const RunResult& r) {
-  w.begin_object();
+void result_json_fields(obs::JsonWriter& w, const RunResult& r) {
   w.field("finished", r.finished);
   w.field("fg_makespan_ns", static_cast<std::int64_t>(r.fg_makespan));
   w.field("fg_util_vs_fair", r.fg_util_vs_fair);
@@ -88,19 +85,51 @@ void write_result(obs::JsonWriter& w, const RunResult& r) {
   w.field("sa_acked", r.sa_acked);
   w.field("sa_delay_avg_ns", static_cast<std::int64_t>(r.sa_delay_avg));
   w.field("sampler_digest", r.sampler_digest);
+}
+
+namespace {
+
+void write_result(obs::JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  result_json_fields(w, r);
   w.end_object();
+}
+
+/// Field-lookup helpers shared by the RunResult parser: fetch `key` from
+/// `v`, coerce into *out, and record a deterministic error otherwise.
+template <typename T>
+bool read_field(const obs::JsonValue& v, const char* key, T* out,
+                std::string* err) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) {
+    if (err) *err = std::string("missing field '") + key + "'";
+    return false;
+  }
+  if (!f->get(out)) {
+    if (err) *err = std::string("bad type for field '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+bool read_duration(const obs::JsonValue& v, const char* key, sim::Duration* out,
+                   std::string* err) {
+  std::int64_t ns = 0;
+  if (!read_field(v, key, &ns, err)) return false;
+  *out = static_cast<sim::Duration>(ns);
+  return true;
 }
 
 }  // namespace
 
 std::string result_json(const RunResult& r) {
-  obs::JsonWriter w;
+  obs::JsonWriter w(obs::JsonWriter::Doubles::kRoundTrip);
   write_result(w, r);
   return w.str();
 }
 
 std::string sweep_json(const std::vector<RunResult>& rs) {
-  obs::JsonWriter w;
+  obs::JsonWriter w(obs::JsonWriter::Doubles::kRoundTrip);
   w.begin_object();
   w.key("results");
   w.begin_array();
@@ -108,6 +137,49 @@ std::string sweep_json(const std::vector<RunResult>& rs) {
   w.end_array();
   w.end_object();
   return w.str();
+}
+
+bool result_from_value(const obs::JsonValue& v, RunResult* r,
+                       std::string* err) {
+  if (!v.is_object()) {
+    if (err) *err = "result is not a JSON object";
+    return false;
+  }
+  RunResult out;
+  if (!read_field(v, "finished", &out.finished, err)) return false;
+  if (!read_duration(v, "fg_makespan_ns", &out.fg_makespan, err)) return false;
+  if (!read_field(v, "fg_util_vs_fair", &out.fg_util_vs_fair, err)) {
+    return false;
+  }
+  if (!read_field(v, "fg_efficiency", &out.fg_efficiency, err)) return false;
+  if (!read_field(v, "bg_progress_rate", &out.bg_progress_rate, err)) {
+    return false;
+  }
+  if (!read_field(v, "throughput", &out.throughput, err)) return false;
+  if (!read_duration(v, "lat_mean_ns", &out.lat_mean, err)) return false;
+  if (!read_duration(v, "lat_p99_ns", &out.lat_p99, err)) return false;
+  if (!read_field(v, "lhp", &out.lhp, err)) return false;
+  if (!read_field(v, "lwp", &out.lwp, err)) return false;
+  if (!read_field(v, "irs_migrations", &out.irs_migrations, err)) return false;
+  if (!read_field(v, "sa_sent", &out.sa_sent, err)) return false;
+  if (!read_field(v, "sa_acked", &out.sa_acked, err)) return false;
+  if (!read_duration(v, "sa_delay_avg_ns", &out.sa_delay_avg, err)) {
+    return false;
+  }
+  if (!read_field(v, "sampler_digest", &out.sampler_digest, err)) return false;
+  *r = out;
+  return true;
+}
+
+bool result_from_json(const std::string& json, RunResult* r,
+                      std::string* err) {
+  obs::JsonReader reader;
+  obs::JsonValue v;
+  if (!reader.parse(json, &v)) {
+    if (err) *err = reader.error();
+    return false;
+  }
+  return result_from_value(v, r, err);
 }
 
 SweepConsumer ndjson_consumer(std::ostream& out) {

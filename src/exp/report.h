@@ -9,6 +9,8 @@
 #include "src/exp/runner.h"
 #include "src/exp/sweep.h"
 #include "src/obs/attribution.h"
+#include "src/obs/json.h"
+#include "src/obs/json_reader.h"
 #include "src/sim/time.h"
 
 namespace irs::exp {
@@ -39,9 +41,27 @@ std::string fmt_us(sim::Duration d);
 void banner(std::ostream& os, const std::string& title);
 
 /// Stable JSON rendering of a RunResult: one object, fixed key order,
-/// durations in nanoseconds as integers. The machine-readable sibling of
-/// the text tables — sweeps stream one object per run.
+/// durations in nanoseconds as integers, doubles in shortest round-trip
+/// form (so result_from_json recovers the exact bits). The machine-readable
+/// sibling of the text tables — sweeps stream one object per run.
 std::string result_json(const RunResult& r);
+
+/// Append the result_json fields (same keys, same order) to an object that
+/// is already open on `w`. Lets callers prefix extra fields (the sharded
+/// sweeps prepend the global run index) while keeping one field list.
+void result_json_fields(obs::JsonWriter& w, const RunResult& r);
+
+/// Inverse of result_json over a parsed object: every field is required and
+/// type-checked, unknown keys are ignored. On failure returns false and
+/// names the offending field in *err (when non-null).
+bool result_from_value(const obs::JsonValue& v, RunResult* r,
+                       std::string* err);
+
+/// Parse one result_json document. result_json(parsed) reproduces the
+/// input byte-for-byte, and the parsed result is bit-identical to the one
+/// that was serialized (round-trip doubles).
+bool result_from_json(const std::string& json, RunResult* r,
+                      std::string* err);
 
 /// JSON for a whole sweep: {"results": [result_json...]} with the input
 /// order preserved.

@@ -19,6 +19,18 @@ std::vector<hv::PcpuId> identity_pins(int n) {
 
 }  // namespace
 
+bool results_identical(const RunResult& a, const RunResult& b) {
+  return a.finished == b.finished && a.fg_makespan == b.fg_makespan &&
+         a.fg_util_vs_fair == b.fg_util_vs_fair &&
+         a.fg_efficiency == b.fg_efficiency &&
+         a.bg_progress_rate == b.bg_progress_rate &&
+         a.throughput == b.throughput && a.lat_mean == b.lat_mean &&
+         a.lat_p99 == b.lat_p99 && a.lhp == b.lhp && a.lwp == b.lwp &&
+         a.irs_migrations == b.irs_migrations && a.sa_sent == b.sa_sent &&
+         a.sa_acked == b.sa_acked && a.sa_delay_avg == b.sa_delay_avg &&
+         a.sampler_digest == b.sampler_digest;
+}
+
 RunResult run_scenario(const ScenarioConfig& cfg) {
   return run_scenario(cfg, nullptr);
 }

@@ -90,6 +90,12 @@ struct TraceDump {
   std::vector<obs::SeriesData> series;
 };
 
+/// Exact equality over every RunResult field (doubles compared bitwise via
+/// ==). The determinism contract of this repo: equal configs on equal seeds
+/// must compare identical regardless of thread count, process count, or a
+/// trip through NDJSON.
+bool results_identical(const RunResult& a, const RunResult& b);
+
 /// Run one scenario.
 RunResult run_scenario(const ScenarioConfig& cfg);
 

@@ -1,0 +1,436 @@
+#include "src/exp/shard.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/exp/report.h"
+#include "src/obs/json.h"
+#include "src/obs/json_reader.h"
+
+namespace irs::exp {
+
+// ---------------------------------------------------------------------------
+// Shard planning
+// ---------------------------------------------------------------------------
+
+bool parse_shard_spec(const std::string& s, ShardSpec* out) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= s.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == slash) continue;
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  const long index = std::strtol(s.c_str(), nullptr, 10);
+  const long count = std::strtol(s.c_str() + slash + 1, nullptr, 10);
+  if (count <= 0 || index < 0 || index >= count) return false;
+  out->index = static_cast<int>(index);
+  out->count = static_cast<int>(count);
+  return true;
+}
+
+std::vector<std::size_t> shard_run_indices(std::size_t n_runs, int shard,
+                                           int n_shards) {
+  std::vector<std::size_t> owned;
+  if (shard < 0 || n_shards <= 0 || shard >= n_shards) return owned;
+  owned.reserve(n_runs / static_cast<std::size_t>(n_shards) + 1);
+  for (std::size_t i = static_cast<std::size_t>(shard); i < n_runs;
+       i += static_cast<std::size_t>(n_shards)) {
+    owned.push_back(i);
+  }
+  return owned;
+}
+
+std::vector<ScenarioConfig> shard_grid(const std::vector<ScenarioConfig>& cfgs,
+                                       int shard, int n_shards) {
+  std::vector<ScenarioConfig> out;
+  for (const std::size_t i : shard_run_indices(cfgs.size(), shard, n_shards)) {
+    out.push_back(cfgs[i]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON shard format
+// ---------------------------------------------------------------------------
+
+std::string shard_header_json(const ShardHeader& h) {
+  obs::JsonWriter w(obs::JsonWriter::Doubles::kRoundTrip);
+  w.begin_object();
+  w.field("shard", h.shard);
+  w.field("n_shards", h.n_shards);
+  w.field("total_runs", h.total_runs);
+  w.field("fig", h.fig);
+  w.field("seeds", h.seeds);
+  w.end_object();
+  return w.str();
+}
+
+std::string shard_line_json(std::size_t run_index, const RunResult& r) {
+  obs::JsonWriter w(obs::JsonWriter::Doubles::kRoundTrip);
+  w.begin_object();
+  w.field("run", static_cast<std::uint64_t>(run_index));
+  result_json_fields(w, r);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_shard_header(const std::string& line, ShardHeader* out,
+                        std::string* err) {
+  obs::JsonReader reader;
+  obs::JsonValue v;
+  if (!reader.parse(line, &v)) {
+    if (err) *err = "header: " + reader.error();
+    return false;
+  }
+  if (!v.is_object()) {
+    if (err) *err = "header is not a JSON object";
+    return false;
+  }
+  ShardHeader h;
+  std::int64_t shard = 0, n_shards = 0, seeds = 0;
+  const obs::JsonValue* f = nullptr;
+  if ((f = v.find("shard")) == nullptr || !f->get(&shard) ||
+      (f = v.find("n_shards")) == nullptr || !f->get(&n_shards) ||
+      (f = v.find("total_runs")) == nullptr || !f->get(&h.total_runs)) {
+    if (err) *err = "header missing shard/n_shards/total_runs";
+    return false;
+  }
+  if (n_shards <= 0 || shard < 0 || shard >= n_shards) {
+    if (err) *err = "header shard index out of range";
+    return false;
+  }
+  h.shard = static_cast<int>(shard);
+  h.n_shards = static_cast<int>(n_shards);
+  if ((f = v.find("fig")) != nullptr) f->get(&h.fig);
+  if ((f = v.find("seeds")) != nullptr && f->get(&seeds)) {
+    h.seeds = static_cast<int>(seeds);
+  }
+  *out = h;
+  return true;
+}
+
+bool parse_shard_line(const std::string& line, std::size_t* run_index,
+                      RunResult* out, std::string* err) {
+  obs::JsonReader reader;
+  obs::JsonValue v;
+  if (!reader.parse(line, &v)) {
+    if (err) *err = reader.error();
+    return false;
+  }
+  if (!v.is_object()) {
+    if (err) *err = "result line is not a JSON object";
+    return false;
+  }
+  const obs::JsonValue* run = v.find("run");
+  std::uint64_t idx = 0;
+  if (run == nullptr || !run->get(&idx)) {
+    if (err) *err = "missing or non-integer 'run' field";
+    return false;
+  }
+  if (!result_from_value(v, out, err)) return false;
+  *run_index = static_cast<std::size_t>(idx);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Merge + verification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void sort_dedup(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+MergeReport merge_shard_streams(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const MergeOptions& opt) {
+  MergeReport rep;
+  bool have_header = false;
+
+  struct Entry {
+    std::uint64_t run;
+    RunResult result;
+  };
+  std::vector<Entry> entries;  // in input order, pre-sizing pass below
+  std::vector<int> claimed_shards;
+
+  for (const auto& [name, content] : files) {
+    ShardFileReport fr;
+    fr.name = name;
+    auto note = [&](const std::string& msg) {
+      rep.errors.push_back(name + ": " + msg);
+    };
+
+    // Split into complete lines; a newline-less tail is a torn write from
+    // a killed shard — valid-prefix by design, so it is reported, not
+    // fatal.
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < content.size()) {
+      const std::size_t nl = content.find('\n', start);
+      if (nl == std::string::npos) {
+        fr.truncated = true;
+        break;
+      }
+      lines.push_back(content.substr(start, nl - start));
+      start = nl + 1;
+    }
+    if (fr.truncated) {
+      rep.status |= kMergeTruncated;
+      rep.truncated_files.push_back(name);
+      note("torn final line discarded (shard killed mid-write?)");
+    }
+
+    if (lines.empty()) {
+      rep.status |= kMergeBadFile;
+      note("no complete header line");
+      rep.files.push_back(std::move(fr));
+      continue;
+    }
+
+    std::string err;
+    if (!parse_shard_header(lines[0], &fr.header, &err)) {
+      rep.status |= kMergeBadFile;
+      note(err);
+      rep.files.push_back(std::move(fr));
+      continue;
+    }
+    fr.header_ok = true;
+
+    // Headers must describe one and the same grid.
+    if (!have_header) {
+      have_header = true;
+      rep.fig = fr.header.fig;
+      rep.seeds = fr.header.seeds;
+      rep.n_shards = fr.header.n_shards;
+      rep.expected_runs = fr.header.total_runs;
+    } else if (fr.header.n_shards != rep.n_shards ||
+               fr.header.total_runs != rep.expected_runs ||
+               fr.header.fig != rep.fig || fr.header.seeds != rep.seeds) {
+      rep.status |= kMergeBadFile;
+      note("header disagrees with previous shards (different grid?)");
+    }
+    claimed_shards.push_back(fr.header.shard);
+
+    bool first = true;
+    std::uint64_t prev = 0;
+    for (std::size_t li = 1; li < lines.size(); ++li) {
+      std::size_t run = 0;
+      RunResult r;
+      if (!parse_shard_line(lines[li], &run, &r, &err)) {
+        rep.status |= kMergeBadFile;
+        note("line " + std::to_string(li + 1) + ": " + err);
+        continue;
+      }
+      const std::uint64_t idx = run;
+      if (fr.header.total_runs > 0 && idx >= fr.header.total_runs) {
+        rep.status |= kMergeBadFile;
+        note("line " + std::to_string(li + 1) + ": run " +
+             std::to_string(idx) + " out of range");
+        continue;
+      }
+      if (fr.header.n_shards > 0 &&
+          idx % static_cast<std::uint64_t>(fr.header.n_shards) !=
+              static_cast<std::uint64_t>(fr.header.shard)) {
+        rep.status |= kMergeDisorder;
+        note("line " + std::to_string(li + 1) + ": run " +
+             std::to_string(idx) + " is not owned by shard " +
+             std::to_string(fr.header.shard));
+      } else if (!first && idx < prev) {
+        rep.status |= kMergeDisorder;
+        note("line " + std::to_string(li + 1) + ": run " +
+             std::to_string(idx) + " out of order (after " +
+             std::to_string(prev) + ")");
+      }
+      if (first || idx > prev) {
+        prev = idx;
+        first = false;
+      }
+      entries.push_back(Entry{idx, r});
+      ++fr.n_results;
+    }
+    rep.files.push_back(std::move(fr));
+  }
+
+  if (opt.expect_shards > 0) rep.n_shards = opt.expect_shards;
+  if (opt.expect_runs > 0) rep.expected_runs = opt.expect_runs;
+
+  // Key every entry by run index; first occurrence wins, repeats are
+  // classified as duplicate (identical) or conflict (diverging).
+  rep.results.assign(rep.expected_runs, RunResult{});
+  rep.present.assign(rep.expected_runs, 0);
+  std::vector<std::string> conflict_notes;
+  for (const Entry& e : entries) {
+    if (e.run >= rep.expected_runs) {
+      // Only reachable with expect_runs overrides smaller than headers.
+      rep.status |= kMergeBadFile;
+      rep.errors.push_back("run " + std::to_string(e.run) +
+                           " beyond expected " +
+                           std::to_string(rep.expected_runs));
+      continue;
+    }
+    if (rep.present[e.run] == 0) {
+      rep.present[e.run] = 1;
+      rep.results[e.run] = e.result;
+      continue;
+    }
+    if (results_identical(rep.results[e.run], e.result)) {
+      rep.status |= kMergeDuplicate;
+      rep.duplicate_runs.push_back(e.run);
+    } else {
+      rep.status |= kMergeConflict;
+      rep.conflict_runs.push_back(e.run);
+      rep.errors.push_back("run " + std::to_string(e.run) +
+                           ": conflicting results (digest " +
+                           std::to_string(rep.results[e.run].sampler_digest) +
+                           " vs " + std::to_string(e.result.sampler_digest) +
+                           ")");
+    }
+  }
+  sort_dedup(rep.duplicate_runs);
+  sort_dedup(rep.conflict_runs);
+
+  for (std::uint64_t i = 0; i < rep.expected_runs; ++i) {
+    if (rep.present[i]) {
+      ++rep.merged;
+    } else {
+      rep.missing.push_back(i);
+    }
+  }
+  if (!rep.missing.empty()) rep.status |= kMergeMissingRuns;
+
+  // Shards no file claimed (the whole-file-lost case).
+  std::sort(claimed_shards.begin(), claimed_shards.end());
+  for (int s = 0; s < rep.n_shards; ++s) {
+    if (!std::binary_search(claimed_shards.begin(), claimed_shards.end(),
+                            s)) {
+      rep.missing_shards.push_back(s);
+    }
+  }
+
+  return rep;
+}
+
+MergeReport merge_shards(const std::vector<std::string>& paths,
+                         const MergeOptions& opt) {
+  std::vector<std::pair<std::string, std::string>> files;
+  std::vector<std::string> unreadable;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      unreadable.push_back(path);
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.emplace_back(path, ss.str());
+  }
+  MergeReport rep = merge_shard_streams(files, opt);
+  for (const std::string& path : unreadable) {
+    rep.status |= kMergeBadFile;
+    rep.errors.push_back(path + ": cannot read file");
+  }
+  return rep;
+}
+
+std::string merge_summary_json(const MergeReport& rep) {
+  obs::JsonWriter w(obs::JsonWriter::Doubles::kRoundTrip);
+  w.begin_object();
+  w.field("status", rep.status);
+  w.field("ok", rep.ok());
+  w.field("fig", rep.fig);
+  w.field("seeds", rep.seeds);
+  w.field("n_shards", rep.n_shards);
+  w.field("expected_runs", rep.expected_runs);
+  w.field("merged", rep.merged);
+  auto run_list = [&](const char* key, const std::vector<std::uint64_t>& v) {
+    w.key(key);
+    w.begin_array();
+    for (const std::uint64_t i : v) w.value(i);
+    w.end_array();
+  };
+  run_list("missing", rep.missing);
+  run_list("duplicates", rep.duplicate_runs);
+  run_list("conflicts", rep.conflict_runs);
+  w.key("missing_shards");
+  w.begin_array();
+  for (const int s : rep.missing_shards) w.value(s);
+  w.end_array();
+  w.key("truncated");
+  w.begin_array();
+  for (const std::string& f : rep.truncated_files) w.value(f);
+  w.end_array();
+  w.key("errors");
+  w.begin_array();
+  for (const std::string& e : rep.errors) w.value(e);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string repair_plan(const MergeReport& rep) {
+  if (rep.n_shards <= 0) return {};
+  // Runs needing a rerun: everything missing plus everything conflicted
+  // (a conflict means at least one side is wrong — rerun to arbitrate).
+  std::vector<std::vector<std::uint64_t>> by_shard(
+      static_cast<std::size_t>(rep.n_shards));
+  auto claim = [&](std::uint64_t run) {
+    by_shard[run % static_cast<std::uint64_t>(rep.n_shards)].push_back(run);
+  };
+  for (const std::uint64_t run : rep.missing) claim(run);
+  for (const std::uint64_t run : rep.conflict_runs) claim(run);
+
+  const std::string fig = rep.fig.empty() ? "?" : rep.fig;
+  std::string plan;
+  for (int s = 0; s < rep.n_shards; ++s) {
+    auto& runs = by_shard[static_cast<std::size_t>(s)];
+    if (runs.empty()) continue;
+    sort_dedup(runs);
+    const std::size_t owned =
+        rep.expected_runs == 0
+            ? 0
+            : (rep.expected_runs - static_cast<std::uint64_t>(s) +
+               static_cast<std::uint64_t>(rep.n_shards) - 1) /
+                  static_cast<std::uint64_t>(rep.n_shards);
+    plan += "irs_sweep --fig " + fig;
+    if (rep.seeds > 0) plan += " --seeds " + std::to_string(rep.seeds);
+    plan += " --shard " + std::to_string(s) + "/" +
+            std::to_string(rep.n_shards);
+    if (runs.size() != owned) {
+      plan += " --runs ";
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (i > 0) plan += ",";
+        plan += std::to_string(runs[i]);
+      }
+    }
+    plan += " --ndjson rerun-shard" + std::to_string(s) + ".ndjson\n";
+  }
+  return plan;
+}
+
+void write_merged_ndjson(std::ostream& os, const MergeReport& rep) {
+  ShardHeader h;
+  h.shard = 0;
+  h.n_shards = 1;
+  h.total_runs = rep.expected_runs;
+  h.fig = rep.fig;
+  h.seeds = rep.seeds;
+  os << shard_header_json(h) << '\n';
+  for (std::uint64_t i = 0; i < rep.expected_runs; ++i) {
+    if (rep.present[i]) {
+      os << shard_line_json(static_cast<std::size_t>(i), rep.results[i])
+         << '\n';
+    }
+  }
+}
+
+}  // namespace irs::exp

@@ -1,0 +1,177 @@
+// Sharded multi-process/multi-host sweeps: plan a grid's round-robin
+// split, stream each shard's results as self-describing NDJSON, and merge
+// the shard files back into the exact result vector a single-process
+// run_sweep would have produced — with the merge *verified*, not assumed.
+//
+// File format (one shard = one NDJSON file, every line a JSON object):
+//   line 0:  header   {"shard":2,"n_shards":8,"total_runs":96,
+//                      "fig":"fig05","seeds":2}
+//   line 1+: result   {"run":<global run index>, <result_json fields...>}
+// Lines are flushed per run, so a killed shard leaves a valid NDJSON
+// prefix (possibly plus one torn, newline-less tail that the merge
+// discards and reports). Doubles use shortest round-trip formatting; a
+// result survives serialize -> parse bit-identically, which is what makes
+// the cross-shard bit-identity guarantee testable rather than aspirational.
+//
+// Merge verification is exhaustive and machine-readable: the CLI exit code
+// is the OR of the MergeStatus bits below, and repair_plan() lists the
+// exact `irs_sweep --shard i/N --runs ...` invocations that regenerate
+// what is missing or in doubt. A merge is never silently partial.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/exp/runner.h"
+
+namespace irs::exp {
+
+// ---------------------------------------------------------------------------
+// Shard planning
+// ---------------------------------------------------------------------------
+
+/// A shard identity: 0-based index within `count` shards ("2/8" = index 2
+/// of 8).
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
+
+/// Parse "i/N" (0 <= i < N). Returns false on malformed input.
+bool parse_shard_spec(const std::string& s, ShardSpec* out);
+
+/// Global run indices owned by shard `shard` of `n_shards` over an n-run
+/// grid: deterministic round-robin by run index (i % n_shards == shard),
+/// ascending. Placement-independent because per-run seeds derive from the
+/// run index, never from execution order.
+std::vector<std::size_t> shard_run_indices(std::size_t n_runs, int shard,
+                                           int n_shards);
+
+/// The configs this shard executes, in ascending global-run-index order
+/// (cfgs[i] for every owned index i).
+std::vector<ScenarioConfig> shard_grid(const std::vector<ScenarioConfig>& cfgs,
+                                       int shard, int n_shards);
+
+// ---------------------------------------------------------------------------
+// NDJSON shard format
+// ---------------------------------------------------------------------------
+
+/// First line of every shard file. `fig`/`seeds` describe the grid so a
+/// repair plan can name the exact rerun command; they may be empty/0 for
+/// ad-hoc grids (bench binaries), in which case plans fall back to
+/// placeholders.
+struct ShardHeader {
+  int shard = 0;
+  int n_shards = 1;
+  std::uint64_t total_runs = 0;
+  std::string fig;
+  int seeds = 0;
+};
+
+std::string shard_header_json(const ShardHeader& h);
+std::string shard_line_json(std::size_t run_index, const RunResult& r);
+
+bool parse_shard_header(const std::string& line, ShardHeader* out,
+                        std::string* err);
+bool parse_shard_line(const std::string& line, std::size_t* run_index,
+                      RunResult* out, std::string* err);
+
+// ---------------------------------------------------------------------------
+// Merge + verification
+// ---------------------------------------------------------------------------
+
+/// Verification outcome bits; the merge CLI's exit code is their OR
+/// (0 = clean). Documented order of severity is low bit = most common.
+enum MergeStatus : int {
+  kMergeOk = 0,
+  /// Run indices absent from every shard file (includes the runs of a
+  /// shard whose file is missing entirely and of a truncated tail).
+  kMergeMissingRuns = 1,
+  /// A run index appeared more than once with identical payload (e.g. a
+  /// shard retried after a partial upload). Harmless but reported.
+  kMergeDuplicate = 2,
+  /// A run index appeared with two *different* payloads — the
+  /// determinism contract is broken somewhere; both runs are suspect. The
+  /// first occurrence is kept, the index lands in the repair plan.
+  kMergeConflict = 4,
+  /// A shard file ends in a torn, newline-less line (killed writer). The
+  /// torn tail is discarded; its run surfaces as missing.
+  kMergeTruncated = 8,
+  /// Unreadable file, unparseable header/line, or header disagreement
+  /// (n_shards/total_runs/fig/seeds differ between files).
+  kMergeBadFile = 16,
+  /// Run indices within one shard file were out of order or not owned by
+  /// the shard its header claims — the file was reordered or hand-edited.
+  /// Results still merge (content is keyed by index, not position).
+  kMergeDisorder = 32,
+};
+
+struct MergeOptions {
+  /// Expected total runs; 0 = trust the (consistent) headers.
+  std::uint64_t expect_runs = 0;
+  /// Expected shard count; 0 = trust the headers.
+  int expect_shards = 0;
+};
+
+/// Per-input-file detail for reports and tests.
+struct ShardFileReport {
+  std::string name;
+  ShardHeader header;
+  bool header_ok = false;
+  bool truncated = false;
+  std::size_t n_results = 0;
+};
+
+struct MergeReport {
+  int status = kMergeOk;  // OR of MergeStatus bits
+  std::string fig;
+  int seeds = 0;
+  int n_shards = 0;
+  std::uint64_t expected_runs = 0;
+  std::uint64_t merged = 0;  // distinct run indices recovered
+
+  /// results[i] valid iff present[i]; size == expected_runs.
+  std::vector<RunResult> results;
+  std::vector<char> present;
+
+  std::vector<std::uint64_t> missing;         // ascending
+  std::vector<std::uint64_t> duplicate_runs;  // ascending, deduped
+  std::vector<std::uint64_t> conflict_runs;   // ascending, deduped
+  std::vector<int> missing_shards;            // no file claimed this index
+  std::vector<std::string> truncated_files;
+  std::vector<std::string> errors;  // human-readable detail, in input order
+  std::vector<ShardFileReport> files;
+
+  [[nodiscard]] bool ok() const { return status == kMergeOk; }
+};
+
+/// Merge shard streams given as (name, content) pairs — the in-memory core
+/// the fault-injection tests drive directly.
+MergeReport merge_shard_streams(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const MergeOptions& opt = {});
+
+/// File-reading wrapper: unreadable paths set kMergeBadFile and are
+/// otherwise treated as absent.
+MergeReport merge_shards(const std::vector<std::string>& paths,
+                         const MergeOptions& opt = {});
+
+/// One-line machine-readable summary of the verification (fixed key
+/// order): status, grid identity, and every anomaly list.
+std::string merge_summary_json(const MergeReport& rep);
+
+/// The exact reruns that repair the merge: one `irs_sweep` line per shard
+/// owning missing or conflicted runs (`--runs` omitted when the whole
+/// shard must rerun). Empty string when nothing needs rerunning.
+std::string repair_plan(const MergeReport& rep);
+
+/// Write the merged sweep as a canonical single-shard NDJSON file
+/// (header with shard 0/1, then every present run ascending). Re-emitted
+/// through the round-trip serializer, so merging N shards of a grid and
+/// running the grid in one process produce byte-identical files.
+void write_merged_ndjson(std::ostream& os, const MergeReport& rep);
+
+}  // namespace irs::exp

@@ -1,5 +1,6 @@
 #include "src/obs/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -99,7 +100,12 @@ JsonWriter& JsonWriter::value(double v) {
     return *this;
   }
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  if (doubles_ == Doubles::kRoundTrip) {
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    *res.ptr = '\0';
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
   os_ << buf;
   return *this;
 }

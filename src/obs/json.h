@@ -12,6 +12,16 @@ namespace irs::obs {
 
 class JsonWriter {
  public:
+  /// Double rendering policy. kCompact ("%.6g") is the human-oriented
+  /// default used by the trace exporters. kRoundTrip emits the shortest
+  /// decimal that parses back to the exact same double (std::to_chars), so
+  /// a value can cross an NDJSON file and come back bit-identical — the
+  /// sharded-sweep merge depends on this.
+  enum class Doubles { kCompact, kRoundTrip };
+
+  explicit JsonWriter(Doubles doubles = Doubles::kCompact)
+      : doubles_(doubles) {}
+
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();
@@ -44,6 +54,7 @@ class JsonWriter {
   // One entry per open container: number of elements emitted so far.
   std::vector<std::size_t> counts_;
   bool after_key_ = false;
+  Doubles doubles_ = Doubles::kCompact;
 };
 
 /// JSON string literal (quotes + escapes applied).

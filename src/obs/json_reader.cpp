@@ -1,0 +1,313 @@
+#include "src/obs/json_reader.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace irs::obs {
+
+namespace {
+
+/// Containers deeper than this are rejected (the writers here emit depth
+/// <= 4; a hard cap keeps recursion bounded on adversarial input).
+constexpr int kMaxDepth = 64;
+
+bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Encode a BMP code point as UTF-8 (JsonWriter only ever emits \u00XX,
+/// but the reader accepts any non-surrogate \uXXXX).
+void append_utf8(std::string* out, unsigned cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::get(bool* out) const {
+  if (kind != Kind::kBool) return false;
+  *out = bool_v;
+  return true;
+}
+
+bool JsonValue::get(std::uint64_t* out) const {
+  if (kind != Kind::kNumber || !is_integer || is_negative) return false;
+  *out = uint_v;
+  return true;
+}
+
+bool JsonValue::get(std::int64_t* out) const {
+  if (kind != Kind::kNumber || !is_integer) return false;
+  if (is_negative) {
+    *out = int_v;
+    return true;
+  }
+  if (uint_v > static_cast<std::uint64_t>(
+                   std::numeric_limits<std::int64_t>::max())) {
+    return false;
+  }
+  *out = static_cast<std::int64_t>(uint_v);
+  return true;
+}
+
+bool JsonValue::get(double* out) const {
+  if (kind != Kind::kNumber) return false;
+  *out = num_v;
+  return true;
+}
+
+bool JsonValue::get(std::string* out) const {
+  if (kind != Kind::kString) return false;
+  *out = str_v;
+  return true;
+}
+
+bool JsonReader::fail(const std::string& msg) {
+  // Keep the first error; parse_value unwinds without overwriting it.
+  if (error_.empty()) {
+    error_ = msg;
+    error_offset_ = pos_;
+  }
+  return false;
+}
+
+void JsonReader::skip_ws() {
+  while (pos_ < text_.size() && is_ws(text_[pos_])) ++pos_;
+}
+
+bool JsonReader::parse(std::string_view text, JsonValue* out) {
+  text_ = text;
+  pos_ = 0;
+  error_.clear();
+  error_offset_ = 0;
+  *out = JsonValue{};
+  skip_ws();
+  if (!parse_value(out, 0)) return false;
+  skip_ws();
+  if (pos_ != text_.size()) return fail("trailing characters after value");
+  return true;
+}
+
+bool JsonReader::parse_string(std::string* out) {
+  // Caller consumed the opening quote.
+  out->clear();
+  while (true) {
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    const char c = text_[pos_++];
+    if (c == '"') return true;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      --pos_;
+      return fail("unescaped control character in string");
+    }
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) return fail("unterminated escape");
+    const char e = text_[pos_++];
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+          if (pos_ >= text_.size()) return fail("truncated \\u escape");
+          const int d = hex_digit(text_[pos_]);
+          if (d < 0) return fail("bad hex digit in \\u escape");
+          cp = cp * 16 + static_cast<unsigned>(d);
+          ++pos_;
+        }
+        if (cp >= 0xD800 && cp <= 0xDFFF) {
+          return fail("surrogate \\u escapes are not supported");
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default:
+        --pos_;
+        return fail("unknown escape character");
+    }
+  }
+}
+
+bool JsonReader::parse_number(JsonValue* out) {
+  const std::size_t start = pos_;
+  bool integer = true;
+  if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c >= '0' && c <= '9') {
+      ++pos_;
+    } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+      integer = false;
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+  const std::string_view lexeme = text_.substr(start, pos_ - start);
+  out->kind = JsonValue::Kind::kNumber;
+  out->is_negative = !lexeme.empty() && lexeme.front() == '-';
+  // from_chars both validates the grammar (it accepts a superset of JSON —
+  // leading '+'/dots never reach it because the lexeme started as JSON
+  // number characters) and rounds correctly, so parse(print(x)) == x.
+  const auto res = std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(),
+                                   out->num_v);
+  if (res.ec != std::errc() || res.ptr != lexeme.data() + lexeme.size()) {
+    pos_ = start;
+    return fail("malformed number");
+  }
+  out->is_integer = false;
+  if (integer) {
+    // Re-parse the digits exactly; overflow beyond 64 bits silently demotes
+    // the value to its double reading (our writers never emit that).
+    if (out->is_negative) {
+      std::int64_t v = 0;
+      const auto ires =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+      if (ires.ec == std::errc() &&
+          ires.ptr == lexeme.data() + lexeme.size()) {
+        out->is_integer = true;
+        out->int_v = v;
+      }
+    } else {
+      std::uint64_t v = 0;
+      const auto ures =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+      if (ures.ec == std::errc() &&
+          ures.ptr == lexeme.data() + lexeme.size()) {
+        out->is_integer = true;
+        out->uint_v = v;
+      }
+    }
+  }
+  return true;
+}
+
+bool JsonReader::parse_value(JsonValue* out, int depth) {
+  if (depth > kMaxDepth) return fail("nesting too deep");
+  if (pos_ >= text_.size()) return fail("unexpected end of input");
+  const char c = text_[pos_];
+  auto literal = [&](std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("unexpected token");
+    }
+    pos_ += word.size();
+    return true;
+  };
+  switch (c) {
+    case 'n':
+      out->kind = JsonValue::Kind::kNull;
+      return literal("null");
+    case 't':
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_v = true;
+      return literal("true");
+    case 'f':
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_v = false;
+      return literal("false");
+    case '"':
+      ++pos_;
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->str_v);
+    case '[': {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        skip_ws();
+        if (!parse_value(&item, depth + 1)) return false;
+        out->items.push_back(std::move(item));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '{': {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+          return fail("expected object key");
+        }
+        ++pos_;
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return fail("expected ':' after object key");
+        }
+        ++pos_;
+        skip_ws();
+        JsonValue member;
+        if (!parse_value(&member, depth + 1)) return false;
+        out->members.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    default:
+      if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+      return fail("unexpected character");
+  }
+}
+
+}  // namespace irs::obs

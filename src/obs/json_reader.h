@@ -1,0 +1,83 @@
+// Minimal deterministic JSON reader — the parsing counterpart of
+// JsonWriter. Parses one complete JSON document into a small DOM
+// (JsonValue) with insertion-ordered object members, exact integer
+// classification (so a uint64 counter or sampler digest survives a trip
+// through NDJSON untouched), and correctly-rounded doubles
+// (std::from_chars), which together make
+//   JsonWriter -> text -> JsonReader -> JsonWriter
+// byte-identical for round-trip-formatted documents. Errors are reported
+// with a message and the byte offset they occurred at; the same input
+// always produces the same result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace irs::obs {
+
+/// One parsed JSON value. Numbers remember whether their lexeme was an
+/// integer (no '.', 'e', 'E'): integers in [0, 2^64) are held exactly in
+/// `uint_v` (negatives in `int_v`), everything else falls back to the
+/// correctly-rounded double in `num_v`.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  bool is_integer = false;   // number lexeme had no fraction/exponent
+  bool is_negative = false;  // number lexeme started with '-'
+  std::uint64_t uint_v = 0;  // valid when is_integer && !is_negative
+  std::int64_t int_v = 0;    // valid when is_integer && is_negative
+  double num_v = 0;          // always valid for numbers
+  std::string str_v;
+  std::vector<JsonValue> items;  // array elements
+  std::vector<std::pair<std::string, JsonValue>> members;  // object, in order
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+
+  /// First member with the given key, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors; return false (leaving *out untouched) when the value
+  /// has the wrong kind or does not fit the target type.
+  bool get(bool* out) const;
+  bool get(std::uint64_t* out) const;
+  bool get(std::int64_t* out) const;
+  bool get(double* out) const;
+  bool get(std::string* out) const;
+};
+
+/// Parses one JSON document per call. Reusable; not thread-safe.
+class JsonReader {
+ public:
+  /// Parse `text` as exactly one JSON value (leading/trailing whitespace
+  /// allowed, anything else after the value is an error). Returns false and
+  /// records error()/error_offset() on malformed input; *out is unspecified
+  /// then.
+  bool parse(std::string_view text, JsonValue* out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t error_offset() const { return error_offset_; }
+
+ private:
+  bool fail(const std::string& msg);
+  void skip_ws();
+  bool parse_value(JsonValue* out, int depth);
+  bool parse_string(std::string* out);
+  bool parse_number(JsonValue* out);
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::size_t error_offset_ = 0;
+};
+
+}  // namespace irs::obs

@@ -1,0 +1,182 @@
+// JsonReader unit tests: literal/kind coverage, string unescaping, the
+// exact-integer classification the NDJSON merge relies on, nesting limits,
+// and deterministic error reporting with byte offsets.
+#include "src/obs/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace irs::obs {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonReader r;
+  JsonValue v;
+  EXPECT_TRUE(r.parse(text, &v)) << text << ": " << r.error();
+  return v;
+}
+
+void expect_fail(const std::string& text, const std::string& msg_part = "") {
+  JsonReader r;
+  JsonValue v;
+  EXPECT_FALSE(r.parse(text, &v)) << text;
+  if (!msg_part.empty()) {
+    EXPECT_NE(r.error().find(msg_part), std::string::npos)
+        << text << " -> " << r.error();
+  }
+}
+
+TEST(JsonReader, Literals) {
+  EXPECT_EQ(parse_ok("null").kind, JsonValue::Kind::kNull);
+  bool b = false;
+  EXPECT_TRUE(parse_ok("true").get(&b));
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(parse_ok("false").get(&b));
+  EXPECT_FALSE(b);
+  EXPECT_EQ(parse_ok("  true  ").kind, JsonValue::Kind::kBool);
+}
+
+TEST(JsonReader, IntegerClassificationIsExact) {
+  // Unsigned 64-bit counters (sampler digests!) must survive untouched —
+  // this value is not representable as a double.
+  const JsonValue big = parse_ok("18446744073709551615");
+  ASSERT_TRUE(big.is_number());
+  EXPECT_TRUE(big.is_integer);
+  EXPECT_FALSE(big.is_negative);
+  std::uint64_t u = 0;
+  ASSERT_TRUE(big.get(&u));
+  EXPECT_EQ(u, 18446744073709551615ULL);
+
+  const JsonValue neg = parse_ok("-9223372036854775808");
+  EXPECT_TRUE(neg.is_integer);
+  EXPECT_TRUE(neg.is_negative);
+  std::int64_t i = 0;
+  ASSERT_TRUE(neg.get(&i));
+  EXPECT_EQ(i, INT64_MIN);
+
+  // A fraction or exponent demotes to double; a uint read must refuse.
+  const JsonValue frac = parse_ok("1.5");
+  EXPECT_FALSE(frac.is_integer);
+  EXPECT_FALSE(frac.get(&u));
+  double d = 0;
+  ASSERT_TRUE(frac.get(&d));
+  EXPECT_EQ(d, 1.5);
+  EXPECT_FALSE(parse_ok("1e3").is_integer);
+
+  // Integer overflow past uint64 demotes to double rather than wrapping.
+  EXPECT_FALSE(parse_ok("18446744073709551616").is_integer);
+}
+
+TEST(JsonReader, SignedReadsOfUnsignedValues) {
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_ok("42").get(&i));
+  EXPECT_EQ(i, 42);
+  // Unsigned too big for int64: the signed read refuses, unsigned works.
+  EXPECT_FALSE(parse_ok("9223372036854775808").get(&i));
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_ok("9223372036854775808").get(&u));
+  // Negative into unsigned refuses.
+  EXPECT_FALSE(parse_ok("-1").get(&u));
+}
+
+TEST(JsonReader, DoublesAreCorrectlyRounded) {
+  double d = 0;
+  ASSERT_TRUE(parse_ok("0.1").get(&d));
+  EXPECT_EQ(d, 0.1);
+  ASSERT_TRUE(parse_ok("1e+06").get(&d));
+  EXPECT_EQ(d, 1e6);
+  ASSERT_TRUE(parse_ok("-2.5e-3").get(&d));
+  EXPECT_EQ(d, -2.5e-3);
+  // Integers satisfy a double read as well.
+  ASSERT_TRUE(parse_ok("7").get(&d));
+  EXPECT_EQ(d, 7.0);
+}
+
+TEST(JsonReader, StringsUnescape) {
+  std::string s;
+  ASSERT_TRUE(parse_ok(R"("plain")").get(&s));
+  EXPECT_EQ(s, "plain");
+  ASSERT_TRUE(parse_ok(R"("a\"b\\c\/d\b\f\n\r\t")").get(&s));
+  EXPECT_EQ(s, "a\"b\\c/d\b\f\n\r\t");
+  ASSERT_TRUE(parse_ok(R"("Aé中")").get(&s));
+  EXPECT_EQ(s, "A\xc3\xa9\xe4\xb8\xad");  // A, é, 中 in UTF-8
+}
+
+TEST(JsonReader, ArraysAndObjectsKeepOrder) {
+  const JsonValue arr = parse_ok("[1, \"two\", [3], {}]");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.items.size(), 4u);
+  EXPECT_TRUE(arr.items[0].is_number());
+  EXPECT_TRUE(arr.items[1].is_string());
+  EXPECT_TRUE(arr.items[2].is_array());
+  EXPECT_TRUE(arr.items[3].is_object());
+  EXPECT_TRUE(parse_ok("[]").items.empty());
+
+  const JsonValue obj = parse_ok(R"({"z":1,"a":2,"z":3})");
+  ASSERT_TRUE(obj.is_object());
+  ASSERT_EQ(obj.members.size(), 3u);  // duplicates preserved, order kept
+  EXPECT_EQ(obj.members[0].first, "z");
+  EXPECT_EQ(obj.members[1].first, "a");
+  std::uint64_t u = 0;
+  ASSERT_NE(obj.find("z"), nullptr);
+  ASSERT_TRUE(obj.find("z")->get(&u));
+  EXPECT_EQ(u, 1u);  // find returns the first occurrence
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonReader, NestingDepthIsBounded) {
+  std::string deep, close;
+  for (int i = 0; i < 80; ++i) {
+    deep += "[";
+    close += "]";
+  }
+  expect_fail(deep + close, "nesting too deep");
+  // 32 levels is fine.
+  std::string ok_doc(32, '[');
+  ok_doc += std::string(32, ']');
+  parse_ok(ok_doc);
+}
+
+TEST(JsonReader, ErrorsNameTheProblemAndOffset) {
+  {
+    JsonReader r;
+    JsonValue v;
+    ASSERT_FALSE(r.parse("{\"a\":}", &v));
+    EXPECT_EQ(r.error_offset(), 5u);
+  }
+  expect_fail("");
+  expect_fail("   ");
+  expect_fail("tru");
+  expect_fail("[1,]");
+  expect_fail("{\"a\":1,}");
+  expect_fail("{\"a\" 1}");
+  expect_fail("\"unterminated");
+  expect_fail(R"("\q")");       // unknown escape
+  expect_fail(R"("\ud800")");   // lone surrogate
+  expect_fail("+1");
+  expect_fail("1e");            // digitless exponent
+  expect_fail("nan");
+  // Trailing garbage after a complete value is an error, with the offset
+  // pointing at the garbage.
+  {
+    JsonReader r;
+    JsonValue v;
+    ASSERT_FALSE(r.parse("{} x", &v));
+    EXPECT_EQ(r.error_offset(), 3u);
+  }
+}
+
+TEST(JsonReader, SameInputSameResult) {
+  // Determinism touchstone: parse twice, identical trees (spot-checked).
+  const std::string doc = R"({"a":[1,2.5,"x"],"b":{"c":true}})";
+  const JsonValue v1 = parse_ok(doc);
+  const JsonValue v2 = parse_ok(doc);
+  ASSERT_EQ(v1.members.size(), v2.members.size());
+  EXPECT_EQ(v1.members[0].second.items[1].num_v,
+            v2.members[0].second.items[1].num_v);
+}
+
+}  // namespace
+}  // namespace irs::obs

@@ -1,10 +1,18 @@
 // Property-style invariant sweeps across (workload x strategy x
-// interference) using parameterized gtest.
+// interference) using parameterized gtest, plus randomized round-trip
+// properties of the NDJSON result serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
 #include <tuple>
 
+#include "src/exp/report.h"
 #include "src/exp/runner.h"
+#include "src/exp/shard.h"
+#include "src/sim/rng.h"
 
 namespace irs::exp {
 namespace {
@@ -157,6 +165,70 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, Determinism,
                                            core::Strategy::kPle,
                                            core::Strategy::kRelaxedCo,
                                            core::Strategy::kIrs));
+
+/// A RunResult with every field drawn from the simulator's own RNG:
+/// durations span the full positive int64 range, doubles mix magnitudes
+/// (including subnormal-ish and huge values) so the shortest round-trip
+/// formatting is stressed, counters use the full uint64 range.
+RunResult random_result(sim::Rng& rng) {
+  RunResult r;
+  r.finished = rng.next_below(2) == 1;
+  r.fg_makespan = rng.uniform(0, std::numeric_limits<std::int64_t>::max());
+  auto rnd_double = [&] {
+    // Random mantissa at a random decade: exercises fixed and scientific
+    // shortest forms, signs, and values with no short decimal expansion.
+    const double mag = std::pow(10.0, static_cast<double>(rng.uniform(-30, 30)));
+    const double v = (rng.next_double() * 2 - 1) * mag;
+    return v;
+  };
+  r.fg_util_vs_fair = rnd_double();
+  r.fg_efficiency = rnd_double();
+  r.bg_progress_rate = rnd_double();
+  r.throughput = rnd_double();
+  r.lat_mean = rng.uniform(0, std::numeric_limits<std::int64_t>::max());
+  r.lat_p99 = rng.uniform(0, std::numeric_limits<std::int64_t>::max());
+  r.lhp = rng.next_u64();
+  r.lwp = rng.next_u64();
+  r.irs_migrations = rng.next_u64();
+  r.sa_sent = rng.next_u64();
+  r.sa_acked = rng.next_u64();
+  r.sa_delay_avg = rng.uniform(0, std::numeric_limits<std::int64_t>::max());
+  r.sampler_digest = rng.next_u64();
+  return r;
+}
+
+/// serialize -> parse -> re-serialize is byte-identical, and the parsed
+/// result is bit-identical, for arbitrary RunResults — the property the
+/// sharded sweeps' merge-equals-single-process guarantee rests on.
+TEST(NdjsonRoundTrip, RandomResultsSurviveByteAndBitIdentical) {
+  sim::Rng rng(20260805);
+  for (int i = 0; i < 500; ++i) {
+    const RunResult r = random_result(rng);
+    const std::string json = result_json(r);
+    RunResult parsed;
+    std::string err;
+    ASSERT_TRUE(result_from_json(json, &parsed, &err)) << err << "\n" << json;
+    EXPECT_TRUE(results_identical(r, parsed)) << json;
+    EXPECT_EQ(result_json(parsed), json);
+  }
+}
+
+TEST(NdjsonRoundTrip, RandomShardLinesSurviveByteAndBitIdentical) {
+  sim::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const RunResult r = random_result(rng);
+    const std::size_t idx = static_cast<std::size_t>(rng.next_below(1u << 20));
+    const std::string line = shard_line_json(idx, r);
+    std::size_t parsed_idx = 0;
+    RunResult parsed;
+    std::string err;
+    ASSERT_TRUE(parse_shard_line(line, &parsed_idx, &parsed, &err))
+        << err << "\n" << line;
+    EXPECT_EQ(parsed_idx, idx);
+    EXPECT_TRUE(results_identical(r, parsed)) << line;
+    EXPECT_EQ(shard_line_json(parsed_idx, parsed), line);
+  }
+}
 
 }  // namespace
 }  // namespace irs::exp

@@ -1,0 +1,99 @@
+// irs_sweep_merge — reassemble sharded sweep NDJSON files into the result
+// stream a single-process run would have produced, and verify the merge.
+//
+//   $ irs_sweep_merge --out fig05.ndjson shard0.ndjson ... shard7.ndjson
+//   {"status":0,"ok":true,...}
+//
+// The one-line summary JSON on stdout is machine-readable; the exit code
+// is the OR of the MergeStatus bits in src/exp/shard.h (0 = clean merge,
+// 64 = usage error). With --repair-plan, the exact `irs_sweep` rerun
+// commands for missing/conflicted runs are printed after the summary.
+//
+// Options:
+//   --out PATH       write the merged canonical NDJSON here
+//   --repair-plan    print rerun commands for anything missing/in doubt
+//   --expect M       require exactly M total runs (overrides headers)
+//   --shards N       require exactly N shards (overrides headers)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/shard.h"
+
+namespace {
+
+constexpr int kExitUsage = 64;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out PATH] [--repair-plan] [--expect M]\n"
+               "          [--shards N] shard0.ndjson [shard1.ndjson ...]\n",
+               argv0);
+  std::exit(kExitUsage);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace irs;
+
+  std::string out_path;
+  bool want_plan = false;
+  exp::MergeOptions opt;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--repair-plan") {
+      want_plan = true;
+    } else if (arg == "--expect") {
+      const long long v = std::atoll(next());
+      if (v <= 0) usage(argv[0]);
+      opt.expect_runs = static_cast<std::uint64_t>(v);
+    } else if (arg == "--shards") {
+      opt.expect_shards = std::atoi(argv[i + 1]);
+      ++i;
+      if (opt.expect_shards <= 0) usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) usage(argv[0]);
+
+  const exp::MergeReport rep = exp::merge_shards(paths, opt);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   out_path.c_str());
+      return kExitUsage;
+    }
+    exp::write_merged_ndjson(out, rep);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: write to %s failed\n", out_path.c_str());
+      return kExitUsage;
+    }
+  }
+
+  std::cout << exp::merge_summary_json(rep) << '\n';
+  for (const std::string& e : rep.errors) {
+    std::fprintf(stderr, "irs_sweep_merge: %s\n", e.c_str());
+  }
+  if (want_plan) {
+    const std::string plan = exp::repair_plan(rep);
+    if (!plan.empty()) std::cout << plan;
+  }
+  return rep.status;
+}
