@@ -3,6 +3,11 @@
 //   * engine hot-path throughput: the schedule/cancel/dispatch churn
 //     microbench, in events/sec, plus the recorded seed-engine baseline
 //     (shared_ptr + std::function implementation) for the speedup ratio;
+//   * deep-queue extraction cost: 512 events in flight, binary-heap
+//     "before" vs the default queue backend "after", in the tight (1 ns)
+//     and timer-cadence (100 µs) shapes, with the timer-shape speedup
+//     ratio gated — the default backend must not lose to the binary heap
+//     on the traffic it exists for;
 //   * a fig05-sized sweep (PARSEC x {baseline,PLE,RelaxedCo,IRS} x
 //     {1,2,4}-inter x seeds) timed serially (1 job) and with the parallel
 //     sweep pool (IRS_BENCH_JOBS or 8), with a bit-identity check between
@@ -13,10 +18,18 @@
 //     (the unbatched "before") vs the default batch, plus the same traced
 //     sweep with the counter sampler armed at its default cadence.
 //
-// Two gates fail the bench loudly (exit 1): the batched ns/record metric
-// must not be more than 2x worse than an existing report at the output
-// path, and the sampler must add less than 6% on top of a traced sweep —
-// so neither a trace-path nor a sampling regression can land silently.
+// The report also embeds streaming aggregate statistics (exp::SweepStats,
+// folded in the parallel pass's consumer) and, when IRS_BENCH_NDJSON is
+// set, verifies the streamed shard file by merging it back through the
+// shard verifier — status bitmask, expected-missing set, and per-run
+// bit-identity against the serial pass — rather than trusting the write.
+//
+// Gates fail the bench loudly (exit 1): the batched trace ns/record must
+// not be more than 2x worse than an existing report at the output path,
+// the sampler must add less than 6% on top of a traced sweep, the default
+// queue backend must not regress the timer-shape deep-queue bench vs the
+// binary heap, and a streamed shard NDJSON must verify — so none of those
+// regressions can land silently.
 //
 // IRS_BENCH_FAST=1 shrinks the sweep for smoke runs.
 #include <algorithm>
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/exp/stats.h"
 #include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
 #include "src/sim/trace.h"
@@ -70,6 +84,31 @@ double measure_churn() {
   const double sec = wall_seconds(t0);
   if (sink != kIters) std::abort();  // keep the loop honest
   return 3.0 * kIters / sec;
+}
+
+/// ns per dispatched event with 512 events in flight — the deep-queue
+/// microbench (BM_EngineDeepQueue's timer shape): events `spacing` apart,
+/// one refill + one dispatch per iteration, so extraction walks real
+/// structure depth. At the 100 µs timer cadence the in-flight window spans
+/// ~51 ms of the wheel horizon, the dense periodic tick/slice/softirq
+/// traffic the hybrid wheel backend is built for.
+double measure_deepqueue_ns(sim::QueueKind kind, sim::Duration spacing) {
+  sim::Engine eng(kind);
+  std::uint64_t sink = 0;
+  constexpr int kDepth = 512;
+  constexpr int kIters = 2000000;
+  for (int i = 0; i < kDepth; ++i) {
+    eng.schedule((i + 1) * spacing, [&] { ++sink; });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    eng.schedule((kDepth + 1) * spacing, [&] { ++sink; });
+    eng.run_until(eng.now() + spacing);
+  }
+  const double sec = wall_seconds(t0);
+  eng.run();
+  if (sink != kIters + kDepth) std::abort();  // keep the loop honest
+  return sec / kIters * 1e9;
 }
 
 /// ns per record into an enabled ring, either direct (`batch` 0) or through
@@ -132,6 +171,31 @@ int main(int argc, char** argv) {
   std::cerr << "[bench_report] engine churn microbench...\n";
   const double churn = measure_churn();
 
+  // Deep-queue microbench, binary-heap "before" vs the default backend
+  // "after", in both shapes. Reps alternate backends back-to-back so
+  // machine phase drift cancels out of the ratio; minima are kept.
+  const sim::QueueKind default_kind = sim::default_queue_kind();
+  const char* default_name = sim::Engine().queue_name();
+  std::cerr << "[bench_report] engine deep-queue microbench (binary vs "
+            << default_name << ")...\n";
+  const sim::Duration kTimerSpacing = sim::microseconds(100);
+  double dq_binary_timer = 0, dq_default_timer = 0;
+  double dq_binary_tight = 0, dq_default_tight = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double bt = measure_deepqueue_ns(sim::QueueKind::kBinaryHeap,
+                                           kTimerSpacing);
+    const double dt = measure_deepqueue_ns(default_kind, kTimerSpacing);
+    const double bn = measure_deepqueue_ns(sim::QueueKind::kBinaryHeap, 1);
+    const double dn = measure_deepqueue_ns(default_kind, 1);
+    if (rep == 0 || bt < dq_binary_timer) dq_binary_timer = bt;
+    if (rep == 0 || dt < dq_default_timer) dq_default_timer = dt;
+    if (rep == 0 || bn < dq_binary_tight) dq_binary_tight = bn;
+    if (rep == 0 || dn < dq_default_tight) dq_default_tight = dn;
+  }
+  // The headline old-vs-new ratio: timer-cadence traffic is what the
+  // default wheel backend exists for; >1 means it beats the binary heap.
+  const double dq_speedup = dq_binary_timer / dq_default_timer;
+
   const int seeds = exp::bench_seeds();
   const bool fast = std::getenv("IRS_BENCH_FAST") != nullptr;
   // The sweep is panel (a) of Figure 5 from the shared grid registry — the
@@ -187,12 +251,17 @@ int main(int argc, char** argv) {
   }
   std::size_t delivered = 0;
   bool in_order = true;
+  // Aggregate statistics fold line-by-line in the streaming consumer —
+  // the same exp::SweepStats path `irs_sweep_merge --stats-only` uses, so
+  // the report carries sweep-level aggregates without a second pass.
+  exp::SweepStats stats;
   const auto t_par = std::chrono::steady_clock::now();
   const auto parallel = exp::run_sweep(
       grid,
       [&](std::size_t i, const exp::RunResult& r) {
         in_order = in_order && i == delivered;
         ++delivered;
+        stats.add(r);
         if (ndjson.is_open()) {
           ndjson << exp::shard_line_json(owned[i], r) << '\n';
           ndjson.flush();
@@ -205,6 +274,35 @@ int main(int argc, char** argv) {
                        delivered == grid.size() && in_order;
   for (std::size_t i = 0; bit_identical && i < serial.size(); ++i) {
     bit_identical = exp::results_identical(serial[i], parallel[i]);
+  }
+
+  // When a shard NDJSON was streamed, *verify* it instead of trusting the
+  // write: merge the file back through the shard verifier and require (a)
+  // no status bit other than kMergeMissingRuns, (b) the missing set to be
+  // exactly the runs other shards own, and (c) every recovered result to
+  // be bit-identical to this process's serial pass. A sharded bench run
+  // therefore gates on the same evidence a full merge would.
+  int shard_ndjson_status = -1;  // -1 = no NDJSON streamed
+  bool shard_ndjson_ok = true;
+  if (ndjson.is_open()) {
+    ndjson.close();
+    const char* path = std::getenv("IRS_BENCH_NDJSON");
+    exp::MergeOptions mopt;
+    mopt.expect_runs = full_grid.size();
+    const exp::MergeReport mrep = exp::merge_shards({path}, mopt);
+    shard_ndjson_status = mrep.status;
+    shard_ndjson_ok =
+        (mrep.status & ~exp::kMergeMissingRuns) == 0 &&
+        mrep.merged == owned.size() &&
+        mrep.missing.size() == full_grid.size() - owned.size();
+    for (std::size_t i = 0; shard_ndjson_ok && i < owned.size(); ++i) {
+      shard_ndjson_ok = mrep.present[owned[i]] &&
+                        exp::results_identical(serial[i], mrep.results[owned[i]]);
+    }
+    if (!shard_ndjson_ok) {
+      std::cerr << "[bench_report] shard NDJSON verification FAILED: "
+                << exp::merge_summary_json(mrep) << "\n";
+    }
   }
 
   std::cerr << "[bench_report] trace pipeline overhead...\n";
@@ -268,8 +366,17 @@ int main(int argc, char** argv) {
       << ",\n"
       << "  \"churn_speedup_vs_seed\": " << churn / kSeedChurnEventsPerSec
       << ",\n"
+      << "  \"engine_queue_backend\": \"" << default_name << "\",\n"
+      << "  \"deepqueue_ns_binary_timer\": " << dq_binary_timer << ",\n"
+      << "  \"deepqueue_ns_default_timer\": " << dq_default_timer << ",\n"
+      << "  \"deepqueue_ns_binary_tight\": " << dq_binary_tight << ",\n"
+      << "  \"deepqueue_ns_default_tight\": " << dq_default_tight << ",\n"
+      << "  \"deepqueue_speedup_vs_binary\": " << dq_speedup << ",\n"
       << "  \"sweep_runs\": " << grid.size() << ",\n"
       << "  \"sweep_shard\": \"" << shard_str << "\",\n"
+      << "  \"sweep_shard_ndjson_status\": " << shard_ndjson_status << ",\n"
+      << "  \"sweep_shard_ndjson_ok\": "
+      << (shard_ndjson_ok ? "true" : "false") << ",\n"
       << "  \"sweep_seeds_per_point\": " << seeds << ",\n"
       << "  \"sweep_secs_serial\": " << serial_sec << ",\n"
       << "  \"sweep_secs_parallel\": " << par_sec << ",\n"
@@ -287,6 +394,7 @@ int main(int argc, char** argv) {
       << ",\n"
       << "  \"traced_sampled_sweep_overhead_pct\": " << overhead_sampled_pct
       << ",\n"
+      << "  \"sweep_stats\": " << exp::sweep_stats_json(stats) << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
       << "}\n";
@@ -294,6 +402,10 @@ int main(int argc, char** argv) {
 
   std::cout << "churn: " << churn / 1e6 << "M events/s ("
             << churn / kSeedChurnEventsPerSec << "x vs seed)\n"
+            << "deep queue (timer cadence): " << dq_binary_timer
+            << "ns/event binary vs " << dq_default_timer << "ns/event "
+            << default_name << " (" << dq_speedup << "x); tight: "
+            << dq_binary_tight << "ns vs " << dq_default_tight << "ns\n"
             << "sweep: " << serial_sec << "s serial vs " << par_sec << "s @ "
             << jobs << " jobs (" << serial_sec / par_sec << "x), "
             << (bit_identical ? "bit-identical" : "RESULTS DIVERGED!") << "\n"
@@ -318,6 +430,20 @@ int main(int argc, char** argv) {
               << "% exceeds the " << kSampledOverheadLimitPct
               << "% gate (sampled " << sweep_sampled_sec << "s vs traced "
               << sweep_batched_sec << "s)\n";
+    return 1;
+  }
+  // The default queue backend must not lose to the binary-heap "before"
+  // on its motivating timer-cadence shape (0.9 leaves headroom for
+  // machine noise; the real margin is ~1.3x).
+  if (default_kind != sim::QueueKind::kBinaryHeap && dq_speedup < 0.9) {
+    std::cerr << "FAIL: deep-queue timer shape regressed vs the binary "
+              << "heap (" << dq_binary_timer << "ns -> " << dq_default_timer
+              << "ns, ratio " << dq_speedup << ")\n";
+    return 1;
+  }
+  if (!shard_ndjson_ok) {
+    std::cerr << "FAIL: shard NDJSON stream failed merge verification "
+              << "(status " << shard_ndjson_status << ")\n";
     return 1;
   }
   return bit_identical ? 0 : 1;

@@ -57,24 +57,40 @@ void BM_EngineScheduleCancelDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleCancelDispatch);
 
-/// Deep-queue behaviour: keep 512 events in flight so sift-up/down walks
-/// real heap depth (the slab keeps entries POD-sized; this is where the
-/// old std::function heap paid most).
+/// Deep-queue behaviour: keep 512 events in flight so extraction walks
+/// real structure depth (the slab keeps entries POD-sized; this is where
+/// the old std::function heap paid most). Per-backend variants (arg 0:
+/// 0=binary, 1=quad, 2=wheel) in two shapes (arg 1):
+///   * tight — events 1 ns apart. All land in one wheel bucket slice, so
+///     every backend degenerates to its heap; measures pure sift cost on
+///     an L1-resident queue.
+///   * timer — events 100 µs apart, the dense tick/slice/softirq cadence
+///     the wheel is built for: 512 in flight spread ~51 ms across the
+///     wheel horizon, so pushes are O(1) bucket appends and pops drain
+///     1-2 entry buckets.
 void BM_EngineDeepQueue(benchmark::State& state) {
-  sim::Engine eng;
+  const auto kind = static_cast<sim::QueueKind>(state.range(0));
+  const sim::Duration spacing =
+      state.range(1) == 0 ? 1 : sim::microseconds(100);
+  sim::Engine eng(kind);
   std::uint64_t sink = 0;
   for (int i = 0; i < 512; ++i) {
-    eng.schedule(i + 1, [&] { ++sink; });
+    eng.schedule((i + 1) * spacing, [&] { ++sink; });
   }
   for (auto _ : state) {
-    eng.schedule(513, [&] { ++sink; });  // refill behind the horizon
-    eng.run_until(eng.now() + 1);        // dispatch exactly the front event
+    // Refill behind the horizon, then dispatch exactly the front event.
+    eng.schedule(513 * spacing, [&] { ++sink; });
+    eng.run_until(eng.now() + spacing);
   }
   eng.run();
   benchmark::DoNotOptimize(sink);
+  state.SetLabel(std::string(eng.queue_name()) +
+                 (state.range(1) == 0 ? "/tight" : "/timer"));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EngineDeepQueue);
+BENCHMARK(BM_EngineDeepQueue)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->ArgNames({"backend", "shape"});
 
 void BM_RngU64(benchmark::State& state) {
   sim::Rng rng(42);

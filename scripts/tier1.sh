@@ -11,3 +11,10 @@ cmake --build build -j
 # Sharded-sweep round-trip: N local shard subprocesses merged must be
 # byte-identical to the single-process sweep.
 scripts/shard_roundtrip.sh
+
+# Engine deep-queue bench smoke: every EventQueue backend variant (binary,
+# quad, wheel x tight/timer shapes) must run clean. The old-vs-new ratio
+# the perf trajectory tracks is recorded in BENCH_sweep.json as
+# deepqueue_speedup_vs_binary by bench/bench_report, which gates on it.
+./build/bench/micro_benchmarks --benchmark_filter=BM_EngineDeepQueue \
+    --benchmark_min_time=0.05

@@ -1,0 +1,214 @@
+#include "src/exp/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <istream>
+
+#include "src/exp/report.h"
+#include "src/obs/json.h"
+#include "src/obs/json_reader.h"
+
+namespace irs::exp {
+
+// ---------------------------------------------------------------------------
+// StatAccumulator
+// ---------------------------------------------------------------------------
+
+int StatAccumulator::bucket_key(double v) {
+  if (v == 0.0 || std::isnan(v)) return 0;
+  const bool neg = v < 0.0;
+  const double a = neg ? -v : v;
+  // For positive doubles the bit pattern is order-preserving; dropping the
+  // low 47 bits keeps the exponent plus the top 5 mantissa bits — buckets
+  // with ~3 % relative width. +1 keeps the smallest positives distinct
+  // from the zero bucket.
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(a);
+  const int k = static_cast<int>(bits >> 47) + 1;
+  return neg ? -k : k;
+}
+
+double StatAccumulator::bucket_value(int key) {
+  if (key == 0) return 0.0;
+  const bool neg = key < 0;
+  const std::uint64_t seg = static_cast<std::uint64_t>((neg ? -key : key) - 1);
+  // Midpoint of the truncated 47-bit mantissa segment.
+  const std::uint64_t bits = (seg << 47) | (std::uint64_t{1} << 46);
+  const double v = std::bit_cast<double>(bits);
+  return neg ? -v : v;
+}
+
+void StatAccumulator::add(double v) {
+  if (n_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double d = v - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (v - mean_);
+  ++buckets_[bucket_key(v)];
+}
+
+double StatAccumulator::stddev() const {
+  if (n_ == 0) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+double StatAccumulator::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Nearest-rank: the smallest value whose cumulative count covers rank k.
+  const auto k = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n_)));
+  const std::uint64_t rank = std::max<std::uint64_t>(k, 1);
+  std::uint64_t cum = 0;
+  for (const auto& [key, cnt] : buckets_) {
+    cum += cnt;
+    if (cum >= rank) {
+      // Clamp the bucket representative into the observed range so the
+      // sketch never reports beyond the exact extremes.
+      return std::clamp(bucket_value(key), min_, max_);
+    }
+  }
+  return max_;  // unreachable: bucket counts sum to n_
+}
+
+// ---------------------------------------------------------------------------
+// SweepStats
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MetricDef {
+  const char* name;
+  double (*get)(const RunResult&);
+};
+
+/// One entry per scalar result_json field, in field order.
+constexpr MetricDef kMetrics[] = {
+    {"fg_makespan_ns",
+     [](const RunResult& r) { return static_cast<double>(r.fg_makespan); }},
+    {"fg_util_vs_fair", [](const RunResult& r) { return r.fg_util_vs_fair; }},
+    {"fg_efficiency", [](const RunResult& r) { return r.fg_efficiency; }},
+    {"bg_progress_rate",
+     [](const RunResult& r) { return r.bg_progress_rate; }},
+    {"throughput", [](const RunResult& r) { return r.throughput; }},
+    {"lat_mean_ns",
+     [](const RunResult& r) { return static_cast<double>(r.lat_mean); }},
+    {"lat_p99_ns",
+     [](const RunResult& r) { return static_cast<double>(r.lat_p99); }},
+    {"lhp", [](const RunResult& r) { return static_cast<double>(r.lhp); }},
+    {"lwp", [](const RunResult& r) { return static_cast<double>(r.lwp); }},
+    {"irs_migrations",
+     [](const RunResult& r) { return static_cast<double>(r.irs_migrations); }},
+    {"sa_sent",
+     [](const RunResult& r) { return static_cast<double>(r.sa_sent); }},
+    {"sa_acked",
+     [](const RunResult& r) { return static_cast<double>(r.sa_acked); }},
+    {"sa_delay_avg_ns",
+     [](const RunResult& r) { return static_cast<double>(r.sa_delay_avg); }},
+};
+constexpr std::size_t kNMetrics = std::size(kMetrics);
+
+}  // namespace
+
+const std::vector<std::string>& SweepStats::metric_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    v.reserve(kNMetrics);
+    for (const MetricDef& m : kMetrics) v.emplace_back(m.name);
+    return v;
+  }();
+  return names;
+}
+
+void SweepStats::add(const RunResult& r) {
+  if (acc_.empty()) acc_.resize(kNMetrics);
+  ++runs_;
+  if (r.finished) ++finished_;
+  for (std::size_t i = 0; i < kNMetrics; ++i) acc_[i].add(kMetrics[i].get(r));
+}
+
+const StatAccumulator& SweepStats::metric(std::size_t i) const {
+  static const StatAccumulator kEmpty;
+  if (acc_.empty() || i >= acc_.size()) return kEmpty;
+  return acc_[i];
+}
+
+std::string sweep_stats_json(const SweepStats& s) {
+  obs::JsonWriter w(obs::JsonWriter::Doubles::kRoundTrip);
+  w.begin_object();
+  w.field("runs", s.runs());
+  w.field("finished", s.finished());
+  w.key("metrics");
+  w.begin_object();
+  for (std::size_t i = 0; i < kNMetrics; ++i) {
+    const StatAccumulator& a = s.metric(i);
+    w.key(kMetrics[i].name);
+    w.begin_object();
+    w.field("count", a.count());
+    w.field("mean", a.mean());
+    w.field("stddev", a.stddev());
+    w.field("min", a.min());
+    w.field("max", a.max());
+    w.field("p50", a.percentile(50));
+    w.field("p90", a.percentile(90));
+    w.field("p99", a.percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming NDJSON fold
+// ---------------------------------------------------------------------------
+
+NdjsonFoldReport fold_ndjson_stream(std::istream& in, SweepStats* stats) {
+  constexpr std::size_t kMaxErrors = 8;
+  NdjsonFoldReport rep;
+  std::string line;
+  RunResult r;  // the only result-sized state, reused per line
+  auto note = [&](std::uint64_t line_no, const std::string& msg) {
+    ++rep.bad_lines;
+    if (rep.errors.size() < kMaxErrors) {
+      rep.errors.push_back("line " + std::to_string(line_no) + ": " + msg);
+    }
+  };
+  while (std::getline(in, line)) {
+    ++rep.lines;
+    if (line.empty()) continue;
+    obs::JsonReader reader;
+    obs::JsonValue v;
+    if (!reader.parse(line, &v) || !v.is_object()) {
+      note(rep.lines, reader.error().empty() ? "not a JSON object"
+                                             : reader.error());
+      continue;
+    }
+    if (v.find("run") == nullptr) {
+      // Shard headers carry grid identity, not samples.
+      if (v.find("shard") != nullptr) {
+        ++rep.headers;
+      } else {
+        note(rep.lines, "object has neither 'run' nor 'shard'");
+      }
+      continue;
+    }
+    std::string err;
+    if (!result_from_value(v, &r, &err)) {
+      note(rep.lines, err);
+      continue;
+    }
+    ++rep.results;
+    stats->add(r);
+  }
+  return rep;
+}
+
+}  // namespace irs::exp

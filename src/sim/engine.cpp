@@ -1,6 +1,5 @@
 #include "src/sim/engine.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "src/sim/trace.h"
@@ -18,8 +17,7 @@ EventHandle Engine::schedule_at(Time when, Callback fn, const char* label) {
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.label = label;
-  heap_.push_back(QEntry{when, next_seq_++, slot, s.gen});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  queue_->push(QEntry{when, next_seq_++, slot, s.gen});
   return EventHandle{this, slot, s.gen};
 }
 
@@ -37,7 +35,7 @@ void Engine::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.fn.reset();
   s.label = "";
-  ++s.gen;  // invalidate every outstanding handle/heap entry (may wrap)
+  ++s.gen;  // invalidate every outstanding handle/queue entry (may wrap)
   s.next_free = free_head_;
   free_head_ = slot;
 }
@@ -45,36 +43,34 @@ void Engine::release_slot(std::uint32_t slot) {
 void Engine::cancel_event(std::uint32_t slot, std::uint32_t gen) {
   if (!event_pending(slot, gen)) return;
   release_slot(slot);
-  ++cancelled_shells_;  // the heap entry stays behind as a stale shell
-  if (cancelled_shells_ > heap_.size() / 2 && heap_.size() >= 64) compact();
-}
-
-void Engine::compact() {
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const QEntry& e) {
-                               return slots_[e.slot].gen != e.gen;
-                             }),
-              heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-  cancelled_shells_ = 0;
-}
-
-void Engine::prune_top() {
-  while (!heap_.empty()) {
-    const QEntry& top = heap_.front();
-    if (slots_[top.slot].gen == top.gen) return;  // live
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    --cancelled_shells_;
+  ++cancelled_shells_;  // the queue entry stays behind as a stale shell
+  // The trigger (shells > size/2 with size >= 64) requires > 32 shells, so
+  // skip the queue-size query until that is even possible.
+  if (cancelled_shells_ > 32) {
+    const std::size_t sz = queue_->size();
+    if (cancelled_shells_ > sz / 2 && sz >= 64) compact();
   }
 }
 
-bool Engine::dispatch_one() {
-  prune_top();
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const QEntry e = heap_.back();
-  heap_.pop_back();
+void Engine::compact() {
+  queue_->compact(
+      [](void* ctx, std::uint32_t slot, std::uint32_t gen) {
+        return static_cast<Engine*>(ctx)->event_pending(slot, gen);
+      },
+      this);
+  cancelled_shells_ = 0;  // compact removes exactly the stale shells
+}
+
+bool Engine::peek_live(QEntry* out) {
+  while (queue_->peek(out)) {
+    if (event_pending(out->slot, out->gen)) return true;
+    queue_->pop(out);  // discard the stale shell
+    --cancelled_shells_;
+  }
+  return false;
+}
+
+void Engine::dispatch_entry(const QEntry& e) {
   // Move the callback out and free the slot *before* invoking: the
   // callback may itself schedule (reusing this slot) or cancel, and a
   // handle to this event must already read !pending() while it runs.
@@ -83,15 +79,30 @@ bool Engine::dispatch_one() {
   now_ = e.when;
   ++dispatched_;
   fn();
-  return true;
+}
+
+bool Engine::dispatch_one() {
+  QEntry e;
+  while (queue_->pop(&e)) {
+    if (event_pending(e.slot, e.gen)) {
+      dispatch_entry(e);
+      return true;
+    }
+    --cancelled_shells_;  // discard the stale shell
+  }
+  return false;
 }
 
 std::uint64_t Engine::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (true) {
-    prune_top();
-    if (heap_.empty() || heap_.front().when > deadline) break;
-    if (dispatch_one()) ++n;
+  QEntry e;
+  while (queue_->pop_until(deadline, &e)) {
+    if (!event_pending(e.slot, e.gen)) {
+      --cancelled_shells_;  // discard the stale shell
+      continue;
+    }
+    dispatch_entry(e);
+    ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
@@ -100,8 +111,8 @@ std::uint64_t Engine::run_until(Time deadline) {
 Engine::RunOutcome Engine::run(std::uint64_t max_events) {
   RunOutcome out;
   while (out.dispatched < max_events && dispatch_one()) ++out.dispatched;
-  prune_top();
-  if (!heap_.empty()) {
+  QEntry e;
+  if (peek_live(&e)) {
     out.budget_exhausted = true;
     if (trace_ != nullptr) {
       trace_->record(now_, TraceKind::kEngineStop, -1, -1,

@@ -1,28 +1,36 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a binary heap of event references backed by a slab pool
-// of event slots. Events scheduled for the same timestamp fire in
+// The engine owns a priority queue of event references backed by a slab
+// pool of event slots. Events scheduled for the same timestamp fire in
 // scheduling order (stable FIFO tie-break), which keeps simulations
-// deterministic regardless of heap internals.
+// deterministic regardless of queue internals.
 //
 // Memory layout (the schedule/cancel/dispatch path is the hottest code in
 // the repo — see bench/micro_benchmarks.cpp):
 //   * callbacks live in a slab of reusable `Slot`s, each holding a
 //     small-buffer-optimised `InlineFn` — no per-event heap allocation in
 //     steady state;
-//   * the priority heap stores 24-byte POD entries {when, seq, slot, gen},
-//     so sift-up/down moves trivial values instead of std::functions;
+//   * the queue stores 24-byte POD entries {when, seq, slot, gen} behind
+//     the sim::EventQueue interface (src/sim/event_queue.h). The default
+//     backend is a near-future timer wheel that absorbs the dense periodic
+//     tick/slice/softirq traffic in O(1) and spills far-future events to a
+//     4-ary heap; the original binary heap remains available as the
+//     reference oracle. All backends dispatch in the identical {when, seq}
+//     order, so traces are bit-identical across them;
 //   * cancellation bumps the slot's generation counter, instantly
 //     invalidating every outstanding handle and leaving a stale "shell"
-//     entry in the heap that dispatch skips. When shells outnumber half the
-//     heap the engine compacts them away in one O(n) pass.
+//     entry in the queue that dispatch skips. When shells outnumber half
+//     the queue — counting shells parked in wheel buckets, not just the
+//     heap — the engine compacts them away in one O(n) pass.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/sim/callback.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/time.h"
 
 namespace irs::sim {
@@ -75,7 +83,11 @@ class Engine {
  public:
   using Callback = InlineFn;
 
-  Engine() = default;
+  /// The queue backend defaults to default_queue_kind() (the hybrid wheel,
+  /// or IRS_ENGINE_QUEUE when set); tests and benches pass one explicitly.
+  Engine() : Engine(default_queue_kind()) {}
+  explicit Engine(QueueKind queue_kind)
+      : queue_(make_event_queue(queue_kind)) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -115,8 +127,9 @@ class Engine {
   bool run_while(const std::function<bool()>& keep_going);
 
   /// Number of events waiting in the queue (including cancelled shells not
-  /// yet skipped or compacted away).
-  [[nodiscard]] std::size_t queued() const { return heap_.size(); }
+  /// yet skipped or compacted away), wherever they sit — wheel buckets
+  /// count too.
+  [[nodiscard]] std::size_t queued() const { return queue_->size(); }
 
   /// Cancelled shells currently sitting in the queue.
   [[nodiscard]] std::size_t cancelled_shells() const {
@@ -129,6 +142,10 @@ class Engine {
   /// Total events dispatched over the engine's lifetime.
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
 
+  /// The queue backend this engine dispatches from.
+  [[nodiscard]] QueueKind queue_kind() const { return queue_->kind(); }
+  [[nodiscard]] const char* queue_name() const { return queue_->name(); }
+
   /// Attach a trace ring for engine-level diagnostics (budget exhaustion).
   void set_trace(Trace* trace) { trace_ = trace; }
 
@@ -139,7 +156,7 @@ class Engine {
   static constexpr std::uint32_t kNpos = UINT32_MAX;
 
   /// Pooled event body. `gen` counts reuses of the slot; an EventHandle or
-  /// heap entry referring to it is live iff its generation matches.
+  /// queue entry referring to it is live iff its generation matches.
   /// Generations are 32-bit: a stale handle could alias a future event
   /// only after 2^32 reuses of one slot while the handle is still held,
   /// which no simulation approaches (engines dispatch ~1e7 events total).
@@ -148,20 +165,6 @@ class Engine {
     const char* label = "";
     std::uint32_t gen = 0;
     std::uint32_t next_free = kNpos;
-  };
-
-  /// 24-byte POD heap entry; cheap to move during sift operations.
-  struct QEntry {
-    Time when = 0;
-    std::uint64_t seq = 0;  // FIFO tie-break for identical timestamps
-    std::uint32_t slot = 0;
-    std::uint32_t gen = 0;
-  };
-  struct Later {
-    bool operator()(const QEntry& a, const QEntry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
   };
 
   [[nodiscard]] bool event_pending(std::uint32_t slot,
@@ -173,10 +176,15 @@ class Engine {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
 
-  /// Pop stale shells off the heap top so heap_.front() is live.
-  void prune_top();
-  /// Drop every stale shell and re-heapify (O(n)); called lazily when
-  /// shells exceed half the queue.
+  /// Discard stale shells off the queue front so *out is the earliest live
+  /// entry; false when no live entry remains. Off the hot path (run()'s
+  /// budget-exhaustion check) — the dispatch loops pop directly.
+  bool peek_live(QEntry* out);
+  /// Consume a popped live entry: free its slot, advance the clock, invoke.
+  void dispatch_entry(const QEntry& e);
+  /// Drop every stale shell in one O(n) pass; called lazily when shells
+  /// exceed half the queue (wheel-resident shells included on both sides
+  /// of that ratio).
   void compact();
   bool dispatch_one();
 
@@ -184,7 +192,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::size_t cancelled_shells_ = 0;
-  std::vector<QEntry> heap_;  // std::push_heap/pop_heap with Later
+  std::unique_ptr<EventQueue> queue_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNpos;
   Trace* trace_ = nullptr;

@@ -1,0 +1,129 @@
+// Priority-queue backends for the discrete-event engine.
+//
+// The engine's schedule/cancel/dispatch loop is the hottest code in the
+// repo, and everything it needs from a queue is four operations over a
+// 24-byte POD entry: push, peek-min, pop-min, and an occasional stale-shell
+// compaction sweep. `EventQueue` pins that contract down as a small
+// interface so backends can compete on cache behaviour while the engine's
+// determinism story stays in one place:
+//
+//   * total order — entries are ordered by {when, seq}; `seq` is the
+//     engine's monotone schedule counter, so same-timestamp events fire in
+//     scheduling order (stable FIFO tie-break). Every backend must honour
+//     the exact same total order: simulations are bit-identical across
+//     backends, which the randomized oracle tests assert.
+//   * shells — the engine cancels events by bumping the slot generation
+//     and leaving the entry behind as a stale "shell". Backends store
+//     shells like any other entry; the engine discards them on pop and
+//     triggers compact() when shells outnumber half the queue, wherever
+//     they sit (heap or wheel).
+//
+// Backends (make_event_queue):
+//   * kBinaryHeap — the original std::push_heap/pop_heap binary heap; kept
+//     as the reference oracle and the "before" of the deep-queue bench.
+//   * kQuadHeap — 4-ary implicit heap. Half the tree depth of a binary
+//     heap, and the four children of a node share at most two cache lines,
+//     so deep-queue sifts touch fewer lines per level.
+//   * kHybridWheel — the default: a timestamp-bucketed near-future timer
+//     wheel (131 µs buckets, ~67 ms horizon) that absorbs the dense
+//     periodic tick/slice/softirq traffic in O(1) pushes, spilling only
+//     far-future (or behind-the-cursor) events to a 4-ary heap. Buckets
+//     are sorted lazily when the dispatch cursor reaches them, and pops
+//     merge-compare the open bucket against the heap top, preserving the
+//     {when, seq} order exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace irs::sim {
+
+/// 24-byte POD queue entry; cheap to move during sift operations. `slot`
+/// and `gen` identify the engine pool slot the callback lives in; an entry
+/// is live iff the slot's current generation still equals `gen`.
+struct QEntry {
+  Time when = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break for identical timestamps
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+};
+
+/// Strict total order of dispatch: earlier `when` first, then lower `seq`.
+inline bool entry_before(const QEntry& a, const QEntry& b) {
+  if (a.when != b.when) return a.when < b.when;
+  return a.seq < b.seq;
+}
+
+/// Deadline that never bounds a pop (every event `when` is below it).
+inline constexpr Time kTimeMax = INT64_MAX;
+
+/// Selects an EventQueue backend (see make_event_queue).
+enum class QueueKind : std::uint8_t {
+  kBinaryHeap,
+  kQuadHeap,
+  kHybridWheel,
+};
+
+/// Minimal priority-queue contract the engine dispatch loop needs.
+/// Entries are opaque to the queue apart from the {when, seq} order;
+/// liveness is the engine's business (see compact()).
+class EventQueue {
+ public:
+  /// Liveness predicate for compaction: returns true if the entry
+  /// {slot, gen} is still live. Plain function pointer + context so
+  /// backends stay free of std::function on any path.
+  using LiveFn = bool (*)(void* ctx, std::uint32_t slot, std::uint32_t gen);
+
+  virtual ~EventQueue() = default;
+
+  [[nodiscard]] virtual QueueKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Insert an entry. `e.when` must be >= the `when` of every entry already
+  /// popped (the engine clamps to now()), and `e.seq` must be strictly
+  /// greater than every seq ever pushed.
+  virtual void push(const QEntry& e) = 0;
+
+  /// Earliest entry by {when, seq} without removing it; false when empty.
+  /// May reorganise internal state (the wheel opens its next bucket), so it
+  /// is non-const, but never changes the pop sequence. Off the hot path —
+  /// the dispatch loop uses pop_until so each event costs one virtual call
+  /// and one min-selection.
+  virtual bool peek(QEntry* out) = 0;
+
+  /// Remove and return the earliest entry iff its `when` is <= deadline;
+  /// false when the queue is empty or the earliest entry is later. The
+  /// engine's one hot-path extraction primitive: deadline-bounded runs and
+  /// unbounded runs (deadline = kTimeMax) share it.
+  virtual bool pop_until(Time deadline, QEntry* out) = 0;
+
+  /// Remove and return the earliest entry; false when empty.
+  bool pop(QEntry* out) { return pop_until(kTimeMax, out); }
+
+  /// Entries currently stored, including stale shells — the denominator of
+  /// the engine's shell-ratio compaction trigger, so it must count every
+  /// resident entry wherever it sits (heap, wheel bucket, or open bucket).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Drop every entry for which `live` returns false, preserving the
+  /// {when, seq} order of the survivors. Returns the number removed.
+  virtual std::size_t compact(LiveFn live, void* ctx) = 0;
+};
+
+/// The backend the engine uses when none is requested explicitly:
+/// kHybridWheel, overridable for experiments via IRS_ENGINE_QUEUE
+/// ("binary", "quad", "wheel"); unknown values fall back to the default.
+/// Read once per process.
+QueueKind default_queue_kind();
+
+/// Parse a backend name ("binary", "quad", "wheel"). Returns false on
+/// unknown names.
+bool parse_queue_kind(const char* s, QueueKind* out);
+
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind);
+
+}  // namespace irs::sim

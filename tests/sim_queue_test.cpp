@@ -1,0 +1,383 @@
+// EventQueue backend tests: the queue-level contract every backend must
+// honour (strict {when, seq} total order, deadline-bounded pops,
+// order-preserving compaction, size() counting every resident entry), the
+// hybrid wheel's boundary behaviour (horizon spill, cursor teleport,
+// behind-cursor pushes), and randomized engine-level equivalence — the
+// same schedule/cancel/reschedule churn driven through each backend must
+// dispatch in the identical order and produce byte-identical trace
+// records, with the binary heap as the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/trace.h"
+
+namespace {
+
+using namespace irs;
+
+constexpr sim::QueueKind kAllKinds[] = {
+    sim::QueueKind::kBinaryHeap,
+    sim::QueueKind::kQuadHeap,
+    sim::QueueKind::kHybridWheel,
+};
+
+std::string kind_label(const ::testing::TestParamInfo<sim::QueueKind>& info) {
+  return sim::make_event_queue(info.param)->name();
+}
+
+// One wheel bucket spans 2^17 ns; the wheel covers 512 buckets (~67 ms).
+// The tests below use these to aim entries at specific wheel regions
+// without reaching into backend internals.
+constexpr sim::Time kBucketNs = 1 << 17;
+constexpr sim::Time kHorizonNs = 512 * kBucketNs;
+
+class QueueBackend : public ::testing::TestWithParam<sim::QueueKind> {
+ protected:
+  std::unique_ptr<sim::EventQueue> q_ = sim::make_event_queue(GetParam());
+};
+
+TEST_P(QueueBackend, ReportsItsKind) {
+  EXPECT_EQ(q_->kind(), GetParam());
+  EXPECT_STRNE(q_->name(), "");
+}
+
+TEST_P(QueueBackend, PopsInTotalOrderAcrossAllRegions) {
+  // Entries land in every structural region a backend can have: the open
+  // bucket, mid-wheel, the last in-horizon bucket, beyond the horizon, and
+  // duplicate timestamps that only `seq` disambiguates.
+  std::vector<sim::QEntry> entries;
+  std::uint64_t seq = 0;
+  for (sim::Time when : {sim::Time{1}, kBucketNs / 2, 3 * kBucketNs,
+                         kHorizonNs - 1, kHorizonNs + 5, 40 * kHorizonNs,
+                         sim::Time{1}, 3 * kBucketNs, kHorizonNs + 5}) {
+    entries.push_back({when, seq, static_cast<std::uint32_t>(seq), 0});
+    ++seq;
+  }
+  // Push in a scrambled order; the queue must still pop sorted.
+  std::vector<sim::QEntry> scrambled = entries;
+  sim::Rng rng(7);
+  for (std::size_t i = scrambled.size(); i > 1; --i) {
+    std::swap(scrambled[i - 1], scrambled[rng.next_below(i)]);
+  }
+  // `seq` must stay push-monotone per the interface contract, so renumber
+  // after the shuffle (the original seq rides along in `slot`).
+  for (std::size_t i = 0; i < scrambled.size(); ++i) {
+    scrambled[i].seq = i;
+  }
+  for (const auto& e : scrambled) q_->push(e);
+  EXPECT_EQ(q_->size(), entries.size());
+
+  std::vector<sim::QEntry> popped;
+  sim::QEntry e;
+  while (q_->pop(&e)) popped.push_back(e);
+  ASSERT_EQ(popped.size(), entries.size());
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end(),
+                             [](const sim::QEntry& a, const sim::QEntry& b) {
+                               return sim::entry_before(a, b);
+                             }));
+  EXPECT_EQ(q_->size(), 0u);
+}
+
+TEST_P(QueueBackend, PopUntilRespectsDeadline) {
+  q_->push({10, 0, 0, 0});
+  q_->push({kHorizonNs + 10, 1, 1, 0});
+  sim::QEntry e;
+  EXPECT_FALSE(q_->pop_until(9, &e));
+  ASSERT_TRUE(q_->pop_until(10, &e));
+  EXPECT_EQ(e.when, 10);
+  EXPECT_FALSE(q_->pop_until(kHorizonNs + 9, &e));
+  ASSERT_TRUE(q_->pop_until(kHorizonNs + 10, &e));
+  EXPECT_EQ(e.when, kHorizonNs + 10);
+  EXPECT_FALSE(q_->pop_until(sim::kTimeMax, &e));
+}
+
+TEST_P(QueueBackend, PeekDoesNotConsumeOrReorder) {
+  q_->push({5, 0, 0, 0});
+  q_->push({5, 1, 1, 0});
+  sim::QEntry e;
+  ASSERT_TRUE(q_->peek(&e));
+  EXPECT_EQ(e.seq, 0u);
+  ASSERT_TRUE(q_->peek(&e));
+  EXPECT_EQ(e.seq, 0u);
+  EXPECT_EQ(q_->size(), 2u);
+  ASSERT_TRUE(q_->pop(&e));
+  EXPECT_EQ(e.seq, 0u);
+  ASSERT_TRUE(q_->pop(&e));
+  EXPECT_EQ(e.seq, 1u);
+}
+
+TEST_P(QueueBackend, CompactDropsDeadPreservesSurvivorOrder) {
+  // Liveness by slot parity: odd slots are "cancelled shells". Entries
+  // span the wheel, the open region, and the far heap so compaction has to
+  // filter every region, not just the heap.
+  std::uint64_t seq = 0;
+  for (sim::Time when : {sim::Time{3}, kBucketNs + 1, 7 * kBucketNs,
+                         kHorizonNs + 99, 2 * kHorizonNs, kBucketNs + 1}) {
+    q_->push({when, seq, static_cast<std::uint32_t>(seq), 0});
+    ++seq;
+  }
+  // Drain the first entry so the wheel has opened a bucket (compaction
+  // must also filter a partially-consumed open bucket).
+  sim::QEntry e;
+  ASSERT_TRUE(q_->pop(&e));
+  EXPECT_EQ(e.slot, 0u);
+
+  const std::size_t removed = q_->compact(
+      [](void*, std::uint32_t slot, std::uint32_t) { return slot % 2 == 0; },
+      nullptr);
+  EXPECT_EQ(removed, 3u);  // slots 1, 3, 5 among the remaining five
+  EXPECT_EQ(q_->size(), 2u);
+  std::vector<std::uint32_t> slots;
+  while (q_->pop(&e)) slots.push_back(e.slot);
+  EXPECT_EQ(slots, (std::vector<std::uint32_t>{2, 4}));
+}
+
+TEST_P(QueueBackend, SizeCountsEveryResidentEntry) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    // Alternate near-wheel and far-heap placements.
+    const sim::Time when =
+        (i % 2 == 0) ? static_cast<sim::Time>(i + 1) * kBucketNs / 4
+                     : kHorizonNs + static_cast<sim::Time>(i) * kBucketNs;
+    q_->push({when, i, static_cast<std::uint32_t>(i), 0});
+    EXPECT_EQ(q_->size(), i + 1);
+  }
+  sim::QEntry e;
+  for (std::size_t left = 100; left > 0; --left) {
+    EXPECT_EQ(q_->size(), left);
+    ASSERT_TRUE(q_->pop(&e));
+  }
+  EXPECT_EQ(q_->size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, QueueBackend,
+                         ::testing::ValuesIn(kAllKinds), kind_label);
+
+// ---------------------------------------------------------------------------
+// Hybrid-wheel boundary behaviour
+// ---------------------------------------------------------------------------
+
+TEST(WheelQueue, FarFutureEntriesSpillToHeapAndMergeBack) {
+  auto q = sim::make_event_queue(sim::QueueKind::kHybridWheel);
+  // Far first (heap), then near (wheel): pops must interleave correctly
+  // as the cursor crosses from wheel territory into spilled territory.
+  q->push({kHorizonNs + 2 * kBucketNs, 0, 0, 0});
+  q->push({2 * kBucketNs, 1, 1, 0});
+  q->push({kHorizonNs + kBucketNs, 2, 2, 0});
+  q->push({kBucketNs, 3, 3, 0});
+  sim::QEntry e;
+  std::vector<std::uint32_t> order;
+  while (q->pop(&e)) order.push_back(e.slot);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{3, 1, 2, 0}));
+}
+
+TEST(WheelQueue, CursorTeleportsAcrossIdleGaps) {
+  auto q = sim::make_event_queue(sim::QueueKind::kHybridWheel);
+  sim::QEntry e;
+  // Consume one near event, then push far beyond the horizon while the
+  // wheel is empty: the cursor teleports instead of sweeping thousands of
+  // empty buckets, and the event is wheel-resident (popped, not spilled).
+  q->push({kBucketNs, 0, 0, 0});
+  ASSERT_TRUE(q->pop(&e));
+  const sim::Time far = 1000 * kHorizonNs + 3 * kBucketNs;
+  q->push({far, 1, 1, 0});
+  q->push({far + kBucketNs, 2, 2, 0});
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 1u);
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 2u);
+  EXPECT_FALSE(q->pop(&e));
+}
+
+TEST(WheelQueue, PushBehindOpenBucketStillPopsInOrder) {
+  auto q = sim::make_event_queue(sim::QueueKind::kHybridWheel);
+  // Open a bucket mid-wheel, then push a same-bucket timestamp *behind*
+  // the cursor (the engine clamps `when` to now(), so this models a
+  // zero-delay event scheduled from inside a dispatch): it must not be
+  // lost, and must pop after already-sorted due entries per seq order.
+  q->push({5 * kBucketNs + 10, 0, 0, 0});
+  q->push({5 * kBucketNs + 20, 1, 1, 0});
+  sim::QEntry e;
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 0u);
+  q->push({5 * kBucketNs + 20, 2, 2, 0});  // same when, later seq, open bucket
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 1u);
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 2u);
+}
+
+TEST(WheelQueue, SameTimestampFifoAcrossWheelHeapBoundary) {
+  auto q = sim::make_event_queue(sim::QueueKind::kHybridWheel);
+  // Identical `when` just past the horizon: while near events keep the
+  // wheel populated, the far push spills to the heap; once the cursor has
+  // advanced enough, a second push of the very same `when` is
+  // wheel-resident. The seq tie-break must hold across the two structures.
+  const sim::Time when = kHorizonNs + kBucketNs + 7;
+  q->push({kBucketNs, 0, 0, 0});      // wheel-resident anchors
+  q->push({2 * kBucketNs, 1, 1, 0});
+  q->push({when, 2, 2, 0});           // beyond horizon -> heap spill
+  sim::QEntry e;
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 0u);
+  ASSERT_TRUE(q->pop(&e));  // cursor now deep enough for `when` to fit
+  EXPECT_EQ(e.slot, 1u);
+  q->push({when, 3, 3, 0});           // same when, now within horizon
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 2u);  // heap entry first: same when, lower seq
+  ASSERT_TRUE(q->pop(&e));
+  EXPECT_EQ(e.slot, 3u);
+  EXPECT_FALSE(q->pop(&e));
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: wheel-resident shells and the compaction trigger
+// ---------------------------------------------------------------------------
+
+class EngineBackend : public ::testing::TestWithParam<sim::QueueKind> {};
+
+TEST_P(EngineBackend, WheelResidentShellsTriggerCompaction) {
+  // All events sit 100 µs apart — inside the wheel horizon, so on the
+  // hybrid backend every one is wheel-resident. The shell-ratio trigger
+  // (shells > size/2, size >= 64) must count them: cancel 70 of 128 and
+  // compaction fires at the 65th cancel, leaving 5 uncompacted shells.
+  sim::Engine eng(GetParam());
+  std::vector<sim::EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 128; ++i) {
+    handles.push_back(
+        eng.schedule((i + 1) * sim::microseconds(100), [&] { ++fired; }));
+  }
+  EXPECT_EQ(eng.queued(), 128u);
+  for (int i = 0; i < 70; ++i) handles[i].cancel();
+  EXPECT_EQ(eng.queued(), 63u);  // compacted at the 65th cancel: 128-65
+  EXPECT_EQ(eng.cancelled_shells(), 5u);
+  eng.run();
+  EXPECT_EQ(fired, 58);
+  EXPECT_EQ(eng.queued(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence vs the binary-heap oracle
+// ---------------------------------------------------------------------------
+
+/// One dispatch observed by the churn driver below.
+struct Dispatch {
+  sim::Time when;
+  int id;
+  bool operator==(const Dispatch& o) const {
+    return when == o.when && id == o.id;
+  }
+};
+
+/// Drive a deterministic random schedule/cancel/reschedule workload on an
+/// engine with the given backend. Delays mix sub-bucket, cross-bucket, and
+/// beyond-horizon magnitudes so entries keep crossing the wheel<->heap
+/// boundary; callbacks re-schedule and cancel from inside dispatch. Every
+/// dispatch appends to the returned log and records a kUser trace entry.
+std::vector<Dispatch> run_churn(sim::QueueKind kind, std::uint64_t seed,
+                                sim::Trace* trace) {
+  sim::Engine eng(kind);
+  eng.set_trace(trace);
+  sim::Rng rng(seed);
+  std::vector<Dispatch> log;
+  std::vector<sim::EventHandle> handles;
+  int next_id = 0;
+
+  auto random_delay = [&]() -> sim::Duration {
+    switch (rng.next_below(4)) {
+      case 0:  return static_cast<sim::Duration>(rng.next_below(64));
+      case 1:  return static_cast<sim::Duration>(rng.next_below(kBucketNs));
+      case 2:  return static_cast<sim::Duration>(rng.next_below(kHorizonNs));
+      default: return static_cast<sim::Duration>(
+          kHorizonNs + rng.next_below(4 * kHorizonNs));
+    }
+  };
+
+  std::function<void(int)> fire = [&](int id) {
+    log.push_back({eng.now(), id});
+    if (trace != nullptr) {
+      trace->record(eng.now(), sim::TraceKind::kUser, id,
+                    static_cast<std::int32_t>(log.size()));
+    }
+    // From inside dispatch: sometimes schedule a successor, sometimes
+    // cancel a random outstanding handle.
+    if (rng.next_below(3) == 0) {
+      const int nid = next_id++;
+      handles.push_back(eng.schedule(random_delay(), [&fire, nid] {
+        fire(nid);
+      }));
+    }
+    if (!handles.empty() && rng.next_below(4) == 0) {
+      handles[rng.next_below(handles.size())].cancel();
+    }
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    const int n = 5 + static_cast<int>(rng.next_below(25));
+    for (int i = 0; i < n; ++i) {
+      const int id = next_id++;
+      handles.push_back(eng.schedule(random_delay(), [&fire, id] {
+        fire(id);
+      }));
+    }
+    // Cancel a random batch (some already-fired handles among them — both
+    // no-op and live cancels are exercised).
+    const int cancels = static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < cancels && !handles.empty(); ++i) {
+      handles[rng.next_below(handles.size())].cancel();
+    }
+    // Advance by a random slice; occasionally drain completely.
+    if (rng.next_below(10) == 0) {
+      eng.run();
+    } else {
+      eng.run_until(eng.now() + random_delay() + 1);
+    }
+  }
+  eng.run();
+  EXPECT_EQ(eng.queued(), 0u);
+  return log;
+}
+
+TEST(QueueOracle, RandomChurnMatchesBinaryHeapDispatchAndTraceBytes) {
+  for (std::uint64_t seed : {1ull, 20260805ull, 0xdecafbadull}) {
+    sim::Trace oracle_trace(1 << 12);
+    const auto oracle =
+        run_churn(sim::QueueKind::kBinaryHeap, seed, &oracle_trace);
+    ASSERT_FALSE(oracle.empty());
+    const auto oracle_snap = oracle_trace.snapshot();
+
+    for (sim::QueueKind kind :
+         {sim::QueueKind::kQuadHeap, sim::QueueKind::kHybridWheel}) {
+      sim::Trace trace(1 << 12);
+      const auto got = run_churn(kind, seed, &trace);
+      EXPECT_EQ(got, oracle) << "dispatch order diverged, seed " << seed;
+      const auto snap = trace.snapshot();
+      ASSERT_EQ(snap.size(), oracle_snap.size());
+      // Every trace record field-identical (memcmp would also compare
+      // indeterminate padding bytes).
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].when, oracle_snap[i].when) << "record " << i;
+        EXPECT_EQ(snap[i].seq, oracle_snap[i].seq) << "record " << i;
+        EXPECT_EQ(snap[i].kind, oracle_snap[i].kind) << "record " << i;
+        EXPECT_EQ(snap[i].a, oracle_snap[i].a) << "record " << i;
+        EXPECT_EQ(snap[i].b, oracle_snap[i].b) << "record " << i;
+        EXPECT_EQ(snap[i].c, oracle_snap[i].c) << "record " << i;
+        EXPECT_TRUE(snap[i].note == oracle_snap[i].note.c_str())
+            << "record " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EngineBackend,
+                         ::testing::ValuesIn(kAllKinds), kind_label);
+
+}  // namespace

@@ -14,6 +14,15 @@
 //   --repair-plan    print rerun commands for anything missing/in doubt
 //   --expect M       require exactly M total runs (overrides headers)
 //   --shards N       require exactly N shards (overrides headers)
+//   --stats          after the verified merge, print a second stdout line
+//                    of streaming aggregate statistics (exp::SweepStats)
+//                    over the merged runs
+//   --stats-only     skip the merge entirely: fold every input line
+//                    through the streaming accumulator and print only the
+//                    stats line. O(1) memory in the number of runs — no
+//                    result vector is materialised — but also no
+//                    dedup/verification, so feed it already-verified files
+//                    (e.g. the --out of a previous clean merge).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +31,7 @@
 #include <vector>
 
 #include "src/exp/shard.h"
+#include "src/exp/stats.h"
 
 namespace {
 
@@ -30,7 +40,8 @@ constexpr int kExitUsage = 64;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out PATH] [--repair-plan] [--expect M]\n"
-               "          [--shards N] shard0.ndjson [shard1.ndjson ...]\n",
+               "          [--shards N] [--stats | --stats-only]\n"
+               "          shard0.ndjson [shard1.ndjson ...]\n",
                argv0);
   std::exit(kExitUsage);
 }
@@ -42,6 +53,8 @@ int main(int argc, char** argv) {
 
   std::string out_path;
   bool want_plan = false;
+  bool want_stats = false;
+  bool stats_only = false;
   exp::MergeOptions opt;
   std::vector<std::string> paths;
 
@@ -55,6 +68,10 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--repair-plan") {
       want_plan = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--stats-only") {
+      stats_only = true;
     } else if (arg == "--expect") {
       const long long v = std::atoll(next());
       if (v <= 0) usage(argv[0]);
@@ -70,6 +87,32 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) usage(argv[0]);
+  if (stats_only && (want_stats || want_plan || !out_path.empty())) {
+    usage(argv[0]);
+  }
+
+  if (stats_only) {
+    // Pure streaming path: one RunResult of state, never a vector.
+    exp::SweepStats stats;
+    int status = 0;
+    for (const std::string& path : paths) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "irs_sweep_merge: cannot read %s\n",
+                     path.c_str());
+        status |= exp::kMergeBadFile;
+        continue;
+      }
+      const exp::NdjsonFoldReport fold = exp::fold_ndjson_stream(in, &stats);
+      for (const std::string& e : fold.errors) {
+        std::fprintf(stderr, "irs_sweep_merge: %s: %s\n", path.c_str(),
+                     e.c_str());
+      }
+      if (!fold.ok()) status |= exp::kMergeBadFile;
+    }
+    std::cout << exp::sweep_stats_json(stats) << '\n';
+    return status;
+  }
 
   const exp::MergeReport rep = exp::merge_shards(paths, opt);
 
@@ -88,6 +131,13 @@ int main(int argc, char** argv) {
   }
 
   std::cout << exp::merge_summary_json(rep) << '\n';
+  if (want_stats) {
+    exp::SweepStats stats;
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+      if (rep.present[i]) stats.add(rep.results[i]);
+    }
+    std::cout << exp::sweep_stats_json(stats) << '\n';
+  }
   for (const std::string& e : rep.errors) {
     std::fprintf(stderr, "irs_sweep_merge: %s\n", e.c_str());
   }
