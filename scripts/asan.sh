@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Memory-safety pass: build with AddressSanitizer in a separate build tree
-# and run the full unit suite plus the dedicated obs/trace job registered
-# under -DIRS_SANITIZE=address (the trace pipeline hands pointers between
-# staging buffers, the shared ring, and exporters — exactly the kind of
-# ownership bug ASan catches and TSan does not).
+# and run the full unit suite plus the dedicated jobs registered under
+# -DIRS_SANITIZE=address: obs_pipeline_asan (the trace pipeline hands
+# pointers between staging buffers, the shared ring, and exporters),
+# engine_queue_asan (wheel buckets / due list / compaction move raw
+# 24-byte entries), and engine_batch_asan (pop_batch scratch copies,
+# half-consumed tail re-pushes, calendar bulk migration) — exactly the
+# kind of ownership bug ASan catches and TSan does not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

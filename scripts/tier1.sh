@@ -13,8 +13,14 @@ cmake --build build -j
 scripts/shard_roundtrip.sh
 
 # Engine deep-queue bench smoke: every EventQueue backend variant (binary,
-# quad, wheel x tight/timer shapes) must run clean. The old-vs-new ratio
-# the perf trajectory tracks is recorded in BENCH_sweep.json as
-# deepqueue_speedup_vs_binary by bench/bench_report, which gates on it.
+# quad, wheel x tight/timer shapes, batching off/on) must run clean. The
+# old-vs-new ratios the perf trajectory tracks are recorded in
+# BENCH_sweep.json as deepqueue_speedup_vs_binary and
+# dispatch_batch_speedup by bench/bench_report, which gates on both.
 ./build/bench/micro_benchmarks --benchmark_filter=BM_EngineDeepQueue \
     --benchmark_min_time=0.05
+
+# Gate check: bench_report fails (exit 1) if dispatch_batch_speedup < 1.3
+# or deepqueue_speedup_vs_binary < 0.9, or any determinism/overhead gate
+# trips. IRS_BENCH_FAST keeps the sweep portion smoke-sized.
+IRS_BENCH_FAST=1 ./build/bench/bench_report build/BENCH_tier1_smoke.json

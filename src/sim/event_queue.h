@@ -1,11 +1,11 @@
 // Priority-queue backends for the discrete-event engine.
 //
 // The engine's schedule/cancel/dispatch loop is the hottest code in the
-// repo, and everything it needs from a queue is four operations over a
-// 24-byte POD entry: push, peek-min, pop-min, and an occasional stale-shell
-// compaction sweep. `EventQueue` pins that contract down as a small
-// interface so backends can compete on cache behaviour while the engine's
-// determinism story stays in one place:
+// repo, and everything it needs from a queue is five operations over a
+// 24-byte POD entry: push, peek-min, deadline-bounded pop (single or
+// batched), and an occasional stale-shell compaction sweep. `EventQueue`
+// pins that contract down as a small interface so backends can compete on
+// cache behaviour while the engine's determinism story stays in one place:
 //
 //   * total order — entries are ordered by {when, seq}; `seq` is the
 //     engine's monotone schedule counter, so same-timestamp events fire in
@@ -16,7 +16,7 @@
 //     and leaving the entry behind as a stale "shell". Backends store
 //     shells like any other entry; the engine discards them on pop and
 //     triggers compact() when shells outnumber half the queue, wherever
-//     they sit (heap or wheel).
+//     they sit (heap, wheel bucket, or calendar bucket).
 //
 // Backends (make_event_queue):
 //   * kBinaryHeap — the original std::push_heap/pop_heap binary heap; kept
@@ -25,12 +25,17 @@
 //     heap, and the four children of a node share at most two cache lines,
 //     so deep-queue sifts touch fewer lines per level.
 //   * kHybridWheel — the default: a timestamp-bucketed near-future timer
-//     wheel (131 µs buckets, ~67 ms horizon) that absorbs the dense
-//     periodic tick/slice/softirq traffic in O(1) pushes, spilling only
-//     far-future (or behind-the-cursor) events to a 4-ary heap. Buckets
-//     are sorted lazily when the dispatch cursor reaches them, and pops
-//     merge-compare the open bucket against the heap top, preserving the
-//     {when, seq} order exactly.
+//     wheel that absorbs dense periodic tick/slice/softirq traffic in O(1)
+//     pushes, backed by a far-future calendar tier (64 half-horizon
+//     buckets that bulk-migrate into the wheel as they mature) and a 4-ary
+//     spill heap for behind-the-cursor and beyond-calendar entries.
+//     Bucket width is adaptive: retune() re-derives it from the engine's
+//     observed inter-event gap EWMA at safe rollover points (the queue
+//     fully empty), so tight-cadence workloads get
+//     narrow buckets and timer-cadence workloads keep the default
+//     geometry. Buckets are sorted lazily when the dispatch cursor reaches
+//     them, and pops merge-compare the open bucket against the heap top,
+//     preserving the {when, seq} order exactly.
 #pragma once
 
 #include <array>
@@ -41,6 +46,45 @@
 #include "src/sim/time.h"
 
 namespace irs::sim {
+
+// ---------------------------------------------------------------------------
+// Tuning constants, each derived from the simulator's event cadence
+// ---------------------------------------------------------------------------
+
+/// Engine shell-compaction trigger: compact when stale shells outnumber
+/// half the queue AND the queue holds at least this many entries. Below
+/// 64 entries an O(n) sweep saves less than the bookkeeping costs — the
+/// steady-state queue of a 2-VM simulation (per-pCPU slice timers, hv
+/// ticks, softirqs) is ~50-200 entries, so 64 ≈ "at least a typical
+/// queue's worth of entries".
+inline constexpr std::size_t kCompactMinQueue = 64;
+
+/// Shell count below which the trigger above cannot possibly fire
+/// (shells > size/2 with size >= kCompactMinQueue requires more than
+/// kCompactMinQueue/2 shells). cancel_event skips the queue-size query —
+/// a virtual call — entirely until the count clears this floor.
+inline constexpr std::size_t kCompactShellFloor = kCompactMinQueue / 2;
+
+/// Default timer-wheel bucket width, as a log2 of nanoseconds: 2^17 ns =
+/// 131.072 µs. Derived from the scheduling cadence the simulations are
+/// dominated by: the hypervisor accounting tick (10 ms) and scheduling
+/// slice (30 ms) spawn sub-ms softirq/IPI/wake follow-ups, so adjacent
+/// events are typically tens-to-hundreds of µs apart — a 131 µs bucket
+/// holds ~1-2 of them, keeping the lazy per-bucket sort trivial.
+inline constexpr int kDefaultWheelShift = 17;
+
+/// Bucket count of the timer wheel (power of two for mask arithmetic).
+/// With the default shift this spans 512 × 131 µs ≈ 67 ms — longer than
+/// two 30 ms slices plus margin, so every periodic rearm (tick, slice,
+/// credit window) lands inside the wheel instead of spilling.
+inline constexpr std::size_t kWheelBuckets = 512;
+
+/// Bounds for the adaptive bucket shift (see EventQueue::retune):
+/// 2^6 ns = 64 ns buckets at the tight end (sub-µs cadences batch ~dozens
+/// of events per bucket without pathological migration churn) up to
+/// 2^20 ns ≈ 1 ms buckets (horizon ≈ 0.5 s) for very sparse workloads.
+inline constexpr int kMinWheelShift = 6;
+inline constexpr int kMaxWheelShift = 20;
 
 /// 24-byte POD queue entry; cheap to move during sift operations. `slot`
 /// and `gen` identify the engine pool slot the callback lives in; an entry
@@ -68,6 +112,15 @@ enum class QueueKind : std::uint8_t {
   kHybridWheel,
 };
 
+/// Snapshot of a backend's internal geometry, for tests and diagnostics.
+/// All-zero for backends without a wheel.
+struct QueueGeometry {
+  int shift = 0;          // log2 of the bucket width in ns
+  Time bucket_ns = 0;     // 1 << shift
+  Time horizon_ns = 0;    // wheel span: kWheelBuckets << shift
+  Time calendar_ns = 0;   // calendar tier span beyond the horizon
+};
+
 /// Minimal priority-queue contract the engine dispatch loop needs.
 /// Entries are opaque to the queue apart from the {when, seq} order;
 /// liveness is the engine's business (see compact()).
@@ -84,34 +137,65 @@ class EventQueue {
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Insert an entry. `e.when` must be >= the `when` of every entry already
-  /// popped (the engine clamps to now()), and `e.seq` must be strictly
-  /// greater than every seq ever pushed.
+  /// popped, and `e.seq` must never collide with a resident entry's seq.
+  /// Normal scheduling pushes monotone seqs (the engine clamps `when` to
+  /// now() and draws seq from a counter); the engine may also *re-insert*
+  /// entries it previously popped via pop_batch but did not dispatch (a
+  /// nested run or an exhausted event budget) — those arrive with older
+  /// seqs, which every backend must order correctly.
   virtual void push(const QEntry& e) = 0;
 
   /// Earliest entry by {when, seq} without removing it; false when empty.
   /// May reorganise internal state (the wheel opens its next bucket), so it
   /// is non-const, but never changes the pop sequence. Off the hot path —
-  /// the dispatch loop uses pop_until so each event costs one virtual call
-  /// and one min-selection.
+  /// the dispatch loop uses pop_until/pop_batch so extraction costs one
+  /// virtual call per event (or per batch) and one min-selection.
   virtual bool peek(QEntry* out) = 0;
 
   /// Remove and return the earliest entry iff its `when` is <= deadline;
   /// false when the queue is empty or the earliest entry is later. The
-  /// engine's one hot-path extraction primitive: deadline-bounded runs and
+  /// single-event extraction primitive: deadline-bounded runs and
   /// unbounded runs (deadline = kTimeMax) share it.
   virtual bool pop_until(Time deadline, QEntry* out) = 0;
+
+  /// Remove the up-to-`max` earliest entries whose `when` is <= deadline
+  /// into `out[0..)` in strict {when, seq} order; returns the count (0
+  /// when nothing is due). Exactly equivalent to `max` pop_until calls —
+  /// the batched engine dispatch drains a whole run of due entries in one
+  /// virtual call and amortises the per-call cursor-advance/merge setup
+  /// (the wheel serves an open-bucket run as a straight copy loop).
+  virtual std::size_t pop_batch(Time deadline, QEntry* out,
+                                std::size_t max) = 0;
 
   /// Remove and return the earliest entry; false when empty.
   bool pop(QEntry* out) { return pop_until(kTimeMax, out); }
 
   /// Entries currently stored, including stale shells — the denominator of
   /// the engine's shell-ratio compaction trigger, so it must count every
-  /// resident entry wherever it sits (heap, wheel bucket, or open bucket).
+  /// resident entry wherever it sits (heap, wheel bucket, open bucket, or
+  /// calendar bucket).
   [[nodiscard]] virtual std::size_t size() const = 0;
 
   /// Drop every entry for which `live` returns false, preserving the
   /// {when, seq} order of the survivors. Returns the number removed.
   virtual std::size_t compact(LiveFn live, void* ctx) = 0;
+
+  /// Offer the backend a chance to re-derive its geometry from the
+  /// engine's EWMA of observed inter-dispatch gaps. Backends may only act
+  /// at safe rollover points — the wheel requires itself *fully* empty:
+  /// emptiness of the bucketed tiers makes the retune order-safe, and
+  /// including the spill heap makes the decision identical for every
+  /// dispatch batch size (the wheel/heap split depends on how far
+  /// pop_batch ran the cursor ahead; total emptiness does not). Must
+  /// never change the pop order. Returns true and fills `*geo` iff the
+  /// geometry changed — the engine records that on the trace so runs
+  /// stay reproducible. Default: fixed-geometry backends decline.
+  virtual bool retune(Time /*gap_ewma*/, QueueGeometry* /*geo*/) {
+    return false;
+  }
+
+  /// Current geometry (all-zero for heap backends).
+  [[nodiscard]] virtual QueueGeometry geometry() const { return {}; }
 };
 
 /// The backend the engine uses when none is requested explicitly:

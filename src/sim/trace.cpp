@@ -21,6 +21,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kPleExit: return "hv.ple";
     case TraceKind::kCoStop: return "hv.co-stop";
     case TraceKind::kEngineStop: return "engine.stop";
+    case TraceKind::kQueueGeometry: return "engine.geometry";
     case TraceKind::kUser: return "user";
   }
   return "?";

@@ -34,6 +34,7 @@ enum class TraceKind : std::uint8_t {
   kPleExit,       // pause-loop exit fired
   kCoStop,        // relaxed-co stopped a leading vCPU
   kEngineStop,    // engine stopped dispatching (event budget exhausted)
+  kQueueGeometry, // event-queue backend retuned its wheel geometry
   kUser,          // free-form
 };
 

@@ -1,0 +1,452 @@
+// Batched-dispatch equivalence and adaptive-geometry determinism.
+//
+// The engine's contract is that the dispatch batch size is purely a
+// performance knob: for ANY batch size, every observable — dispatch order,
+// clock, trace bytes, shell accounting — is identical to single pops.
+// These tests drive that contract three ways:
+//   * a queue-level oracle: randomized push/drain/compact churn comparing
+//     pop_batch(n) drains for n in {1, 7, 64} against single pop_until on
+//     the binary heap;
+//   * an engine-level oracle: randomized schedule/cancel churn on every
+//     backend x batch size against the binary-heap batch=1 engine, with
+//     byte-identical trace records;
+//   * targeted adversarial cases for the in-batch hazards (a callback
+//     scheduling ahead of the scratch, nested runs, budget stops
+//     mid-batch, cancels landing on scratch-resident entries).
+// Plus the adaptive-wheel determinism story: retunes fire at the same
+// dispatch points with the same result for every batch size, and are
+// recorded on the trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/trace.h"
+
+namespace {
+
+using namespace irs;
+
+constexpr sim::QueueKind kAllKinds[] = {
+    sim::QueueKind::kBinaryHeap,
+    sim::QueueKind::kQuadHeap,
+    sim::QueueKind::kHybridWheel,
+};
+
+constexpr std::size_t kBatchSizes[] = {1, 7, 64};
+
+constexpr sim::Time kBucketNs = sim::Time{1} << sim::kDefaultWheelShift;
+constexpr sim::Time kHorizonNs =
+    static_cast<sim::Time>(sim::kWheelBuckets) * kBucketNs;
+
+// ---------------------------------------------------------------------------
+// Queue-level: pop_batch vs single pop_until on the binary-heap oracle
+// ---------------------------------------------------------------------------
+
+TEST(PopBatchOracle, RandomChurnMatchesSinglePopUntil) {
+  for (std::uint64_t seed : {11ull, 20260808ull, 0xfeedc0deull}) {
+    for (sim::QueueKind kind : kAllKinds) {
+      for (std::size_t batch : kBatchSizes) {
+        auto oracle = sim::make_event_queue(sim::QueueKind::kBinaryHeap);
+        auto dut = sim::make_event_queue(kind);
+        sim::Rng rng(seed);
+        std::uint64_t seq = 0;
+        sim::Time popped_floor = 0;  // push contract: when >= last popped
+        std::vector<bool> dead;      // "cancelled" slots, by slot id
+        std::vector<sim::QEntry> scratch(batch);
+
+        const auto live = [](void* ctx, std::uint32_t slot, std::uint32_t) {
+          auto& d = *static_cast<std::vector<bool>*>(ctx);
+          return slot >= d.size() || !d[slot];
+        };
+
+        for (int round = 0; round < 200; ++round) {
+          // A burst of pushes spanning every structural region.
+          const std::uint64_t n = 1 + rng.next_below(30);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            sim::Time when = popped_floor;
+            switch (rng.next_below(5)) {
+              case 0: when += static_cast<sim::Time>(rng.next_below(64)); break;
+              case 1:
+                when += static_cast<sim::Time>(rng.next_below(kBucketNs));
+                break;
+              case 2:
+                when += static_cast<sim::Time>(rng.next_below(kHorizonNs));
+                break;
+              case 3:  // calendar territory (past the horizon)
+                when += kHorizonNs +
+                        static_cast<sim::Time>(rng.next_below(16 * kHorizonNs));
+                break;
+              default:  // beyond the calendar span: heap spill
+                when += 40 * kHorizonNs +
+                        static_cast<sim::Time>(rng.next_below(kHorizonNs));
+                break;
+            }
+            const sim::QEntry e{when, seq,
+                                static_cast<std::uint32_t>(seq & 0xffff), 0};
+            ++seq;
+            oracle->push(e);
+            dut->push(e);
+          }
+          // Mark a few slots dead; occasionally compact both sides.
+          for (std::uint64_t i = rng.next_below(4); i > 0; --i) {
+            const std::size_t victim = rng.next_below(seq) & 0xffff;
+            if (victim >= dead.size()) dead.resize(victim + 1, false);
+            dead[victim] = true;
+          }
+          if (rng.next_below(16) == 0) {
+            const std::size_t r1 = oracle->compact(live, &dead);
+            const std::size_t r2 = dut->compact(live, &dead);
+            EXPECT_EQ(r1, r2) << "compact removed different counts";
+          }
+          // Drain some prefix: batched on the DUT, single pops (the
+          // equivalence definition) on the oracle, identical deadline.
+          const sim::Time deadline =
+              popped_floor +
+              static_cast<sim::Time>(rng.next_below(4 * kHorizonNs));
+          std::uint64_t want = rng.next_below(40);
+          while (want > 0) {
+            const std::size_t ask =
+                std::min<std::uint64_t>(want, scratch.size());
+            const std::size_t got =
+                dut->pop_batch(deadline, scratch.data(), ask);
+            for (std::size_t i = 0; i < got; ++i) {
+              sim::QEntry expect;
+              ASSERT_TRUE(oracle->pop_until(deadline, &expect));
+              EXPECT_EQ(scratch[i].when, expect.when);
+              EXPECT_EQ(scratch[i].seq, expect.seq);
+              popped_floor = expect.when;
+            }
+            if (got < ask) {
+              sim::QEntry leftover;
+              EXPECT_FALSE(oracle->pop_until(deadline, &leftover))
+                  << "batch stopped early but the oracle still has "
+                  << leftover.when;
+              break;
+            }
+            want -= got;
+          }
+          EXPECT_EQ(oracle->size(), dut->size());
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: schedule/cancel churn, every backend x batch size
+// ---------------------------------------------------------------------------
+
+/// One dispatch observed by the churn driver below.
+struct Dispatch {
+  sim::Time when;
+  int id;
+  bool operator==(const Dispatch& o) const {
+    return when == o.when && id == o.id;
+  }
+};
+
+/// The sim_queue_test churn shape, parameterized by batch size: random
+/// schedule/cancel/reschedule traffic whose callbacks schedule zero- and
+/// short-delay successors from inside dispatch — exactly the shape that
+/// lands new events ahead of a half-consumed scratch.
+std::vector<Dispatch> run_batch_churn(sim::QueueKind kind, std::size_t batch,
+                                      std::uint64_t seed, sim::Trace* trace) {
+  sim::Engine eng(kind);
+  eng.set_dispatch_batch(batch);
+  eng.set_trace(trace);
+  sim::Rng rng(seed);
+  std::vector<Dispatch> log;
+  std::vector<sim::EventHandle> handles;
+  int next_id = 0;
+
+  auto random_delay = [&]() -> sim::Duration {
+    switch (rng.next_below(4)) {
+      case 0:  return static_cast<sim::Duration>(rng.next_below(64));
+      case 1:  return static_cast<sim::Duration>(rng.next_below(kBucketNs));
+      case 2:  return static_cast<sim::Duration>(rng.next_below(kHorizonNs));
+      default: return static_cast<sim::Duration>(
+          kHorizonNs + rng.next_below(4 * kHorizonNs));
+    }
+  };
+
+  std::function<void(int)> fire = [&](int id) {
+    log.push_back({eng.now(), id});
+    if (trace != nullptr) {
+      trace->record(eng.now(), sim::TraceKind::kUser, id,
+                    static_cast<std::int32_t>(log.size()));
+    }
+    if (rng.next_below(3) == 0) {
+      const int nid = next_id++;
+      handles.push_back(eng.schedule(random_delay(), [&fire, nid] {
+        fire(nid);
+      }));
+    }
+    if (!handles.empty() && rng.next_below(4) == 0) {
+      handles[rng.next_below(handles.size())].cancel();
+    }
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    const int n = 5 + static_cast<int>(rng.next_below(25));
+    for (int i = 0; i < n; ++i) {
+      const int id = next_id++;
+      handles.push_back(eng.schedule(random_delay(), [&fire, id] {
+        fire(id);
+      }));
+    }
+    const int cancels = static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < cancels && !handles.empty(); ++i) {
+      handles[rng.next_below(handles.size())].cancel();
+    }
+    if (rng.next_below(10) == 0) {
+      eng.run();
+    } else {
+      eng.run_until(eng.now() + random_delay() + 1);
+    }
+  }
+  eng.run();
+  EXPECT_EQ(eng.queued(), 0u);
+  EXPECT_EQ(eng.cancelled_shells(), 0u);
+  return log;
+}
+
+TEST(BatchOracle, ChurnByteIdenticalAcrossBackendsAndBatchSizes) {
+  for (std::uint64_t seed : {5ull, 20260808ull, 0xabad1deaull}) {
+    // Oracle: binary heap, batch 1 — the single-pop reference.
+    sim::Trace oracle_trace(1 << 12);
+    const auto oracle = run_batch_churn(sim::QueueKind::kBinaryHeap, 1, seed,
+                                        &oracle_trace);
+    ASSERT_FALSE(oracle.empty());
+    const auto oracle_snap = oracle_trace.snapshot();
+
+    for (sim::QueueKind kind : kAllKinds) {
+      for (std::size_t batch : kBatchSizes) {
+        if (kind == sim::QueueKind::kBinaryHeap && batch == 1) continue;
+        sim::Trace trace(1 << 12);
+        const auto got = run_batch_churn(kind, batch, seed, &trace);
+        EXPECT_EQ(got, oracle) << "dispatch diverged: backend "
+                               << static_cast<int>(kind) << " batch " << batch
+                               << " seed " << seed;
+        const auto snap = trace.snapshot();
+        ASSERT_EQ(snap.size(), oracle_snap.size())
+            << "trace count diverged: batch " << batch << " seed " << seed;
+        for (std::size_t i = 0; i < snap.size(); ++i) {
+          EXPECT_EQ(snap[i].when, oracle_snap[i].when) << "record " << i;
+          EXPECT_EQ(snap[i].seq, oracle_snap[i].seq) << "record " << i;
+          EXPECT_EQ(snap[i].kind, oracle_snap[i].kind) << "record " << i;
+          EXPECT_EQ(snap[i].a, oracle_snap[i].a) << "record " << i;
+          EXPECT_EQ(snap[i].b, oracle_snap[i].b) << "record " << i;
+          EXPECT_EQ(snap[i].c, oracle_snap[i].c) << "record " << i;
+          EXPECT_TRUE(snap[i].note == oracle_snap[i].note.c_str())
+              << "record " << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted in-batch hazards
+// ---------------------------------------------------------------------------
+
+class BatchDispatch : public ::testing::TestWithParam<sim::QueueKind> {};
+
+TEST_P(BatchDispatch, InBatchSchedulesFireInGlobalOrder) {
+  // 64 events land in one scratch; the first callback schedules ahead of
+  // the still-unconsumed tail (t=1500, between scratch entries 1000 and
+  // 2000) and at an already-passed time (clamped to now). Both must
+  // interleave exactly where {when, seq} places them.
+  sim::Engine eng(GetParam());
+  eng.set_dispatch_batch(64);
+  std::vector<std::pair<sim::Time, int>> fired;
+  auto note = [&](int id) { fired.push_back({eng.now(), id}); };
+  for (int i = 0; i < 64; ++i) {
+    eng.schedule((i + 1) * 1000, [&note, i] { note(i); });
+  }
+  eng.schedule(1000, [&] {
+    note(100);
+    eng.schedule(500, [&note] { note(101); });   // t=1500: mid-scratch
+    eng.schedule(-5, [&note] { note(102); });    // clamped to t=1000
+    eng.schedule(0, [&note] { note(103); });     // t=1000, later seq
+  });
+  eng.run();
+  ASSERT_EQ(fired.size(), 68u);
+  // t=1000: event 0 (seq order), then the extra callback, then its two
+  // same-timestamp children; t=1500 lands between events 0 and 1.
+  EXPECT_EQ(fired[0], (std::pair<sim::Time, int>{1000, 0}));
+  EXPECT_EQ(fired[1], (std::pair<sim::Time, int>{1000, 100}));
+  EXPECT_EQ(fired[2], (std::pair<sim::Time, int>{1000, 102}));
+  EXPECT_EQ(fired[3], (std::pair<sim::Time, int>{1000, 103}));
+  EXPECT_EQ(fired[4], (std::pair<sim::Time, int>{1500, 101}));
+  EXPECT_EQ(fired[5], (std::pair<sim::Time, int>{2000, 1}));
+  for (int i = 2; i < 64; ++i) {
+    EXPECT_EQ(fired[4 + i], (std::pair<sim::Time, int>{(i + 1) * 1000, i}));
+  }
+}
+
+TEST_P(BatchDispatch, NestedRunSeesScratchTail) {
+  // An event's callback starts a nested run over a window that covers
+  // events already sitting in the scratch: the nested run must dispatch
+  // them (the tail is flushed back to the queue), never skip or reorder.
+  sim::Engine eng(GetParam());
+  eng.set_dispatch_batch(64);
+  std::vector<int> fired;
+  for (int i = 1; i <= 10; ++i) {
+    eng.schedule(i * 100, [&fired, i] { fired.push_back(i); });
+  }
+  eng.schedule(100, [&] {
+    fired.push_back(-1);
+    eng.run_until(450);  // covers events 2..4 from the same scratch
+    fired.push_back(-2);
+  });
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, -1, 2, 3, 4, -2, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(eng.queued(), 0u);
+}
+
+TEST_P(BatchDispatch, BudgetStopMidBatchRequeuesTail) {
+  sim::Engine eng(GetParam());
+  eng.set_dispatch_batch(64);
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    eng.schedule(i + 1, [&fired, i] { fired.push_back(i); });
+  }
+  const auto out = eng.run(30);  // stops inside the first scratch refill
+  EXPECT_EQ(out.dispatched, 30u);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(eng.queued(), 70u);  // tail re-queued, nothing lost
+  const auto rest = eng.run();
+  EXPECT_EQ(rest.dispatched, 70u);
+  EXPECT_FALSE(rest.budget_exhausted);
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST_P(BatchDispatch, CancelHittingScratchResidentEntryIsHonoured) {
+  // The first callback cancels events that were popped into the same
+  // scratch refill: they must not fire, and the shell bookkeeping must
+  // come back to zero (the scratch skip path decrements it).
+  sim::Engine eng(GetParam());
+  eng.set_dispatch_batch(64);
+  std::vector<int> fired;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 40; ++i) {
+    handles.push_back(
+        eng.schedule(i + 1, [&fired, i] { fired.push_back(i); }));
+  }
+  eng.schedule(0, [&] {
+    handles[5].cancel();
+    handles[20].cancel();
+    handles[39].cancel();
+  });
+  eng.run();
+  EXPECT_EQ(fired.size(), 37u);
+  EXPECT_TRUE(std::find(fired.begin(), fired.end(), 5) == fired.end());
+  EXPECT_TRUE(std::find(fired.begin(), fired.end(), 20) == fired.end());
+  EXPECT_TRUE(std::find(fired.begin(), fired.end(), 39) == fired.end());
+  EXPECT_EQ(eng.cancelled_shells(), 0u);
+  EXPECT_EQ(eng.queued(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BatchDispatch, ::testing::ValuesIn(kAllKinds),
+    [](const ::testing::TestParamInfo<sim::QueueKind>& info) {
+      return std::string(sim::make_event_queue(info.param)->name());
+    });
+
+// ---------------------------------------------------------------------------
+// Adaptive geometry: deterministic retunes, recorded on the trace
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveGeometry, RetuneNarrowsBucketsAndIsBatchInvariant) {
+  // Tight 1 µs cadence: the gap EWMA settles near 1000 ns, so the first
+  // retune offer at a full-drain point re-derives shift = bit_width(1000)
+  // - 1 + 2 = 11 (2 µs buckets) from the default 17. The whole history —
+  // when the retune fires, the resulting shift, the trace record — must
+  // be identical for every batch size.
+  std::vector<sim::TraceRecord> reference;
+  for (std::size_t batch : kBatchSizes) {
+    sim::Engine eng(sim::QueueKind::kHybridWheel);
+    eng.set_dispatch_batch(batch);
+    eng.set_retune_period(256);
+    sim::Trace trace(1 << 10);
+    eng.set_trace(&trace);
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 512; ++i) {
+      eng.schedule((i + 1) * sim::microseconds(1), [&fired] { ++fired; });
+    }
+    eng.run();  // drains fully: a safe retune point past the period
+    EXPECT_EQ(fired, 512u);
+    const sim::QueueGeometry geo = eng.queue_geometry();
+    EXPECT_EQ(geo.shift, 11) << "batch " << batch;
+    EXPECT_EQ(geo.bucket_ns, sim::Time{1} << 11);
+    ASSERT_EQ(trace.count(sim::TraceKind::kQueueGeometry), 1u)
+        << "batch " << batch;
+    const auto snap = trace.snapshot();
+    if (reference.empty()) {
+      reference = snap;
+    } else {
+      ASSERT_EQ(snap.size(), reference.size()) << "batch " << batch;
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].when, reference[i].when) << "record " << i;
+        EXPECT_EQ(snap[i].seq, reference[i].seq) << "record " << i;
+        EXPECT_EQ(snap[i].kind, reference[i].kind) << "record " << i;
+        EXPECT_EQ(snap[i].a, reference[i].a) << "record " << i;
+      }
+    }
+    // The retuned wheel keeps dispatching correctly at the new geometry.
+    std::vector<sim::Time> after;
+    for (int i = 0; i < 64; ++i) {
+      eng.schedule(sim::microseconds(1 + i), [&after, &eng] {
+        after.push_back(eng.now());
+      });
+    }
+    eng.run();
+    EXPECT_EQ(after.size(), 64u);
+    EXPECT_TRUE(std::is_sorted(after.begin(), after.end()));
+  }
+}
+
+TEST(AdaptiveGeometry, HeapBackendsDeclineAndStayAllZero) {
+  for (sim::QueueKind kind :
+       {sim::QueueKind::kBinaryHeap, sim::QueueKind::kQuadHeap}) {
+    sim::Engine eng(kind);
+    eng.set_retune_period(64);
+    sim::Trace trace(1 << 8);
+    eng.set_trace(&trace);
+    for (int i = 0; i < 256; ++i) {
+      eng.schedule((i + 1) * 1000, [] {});
+    }
+    eng.run();
+    EXPECT_EQ(trace.count(sim::TraceKind::kQueueGeometry), 0u);
+    const sim::QueueGeometry geo = eng.queue_geometry();
+    EXPECT_EQ(geo.shift, 0);
+    EXPECT_EQ(geo.horizon_ns, 0);
+  }
+}
+
+TEST(AdaptiveGeometry, RetuneDeclinedWhileEntriesRemainQueued) {
+  // A far-future event keeps the queue non-empty at every run_until
+  // boundary: the wheel must keep its default geometry (no safe rollover
+  // point ever occurs), and no geometry record may appear.
+  sim::Engine eng(sim::QueueKind::kHybridWheel);
+  eng.set_retune_period(64);
+  sim::Trace trace(1 << 8);
+  eng.set_trace(&trace);
+  eng.schedule(sim::seconds(10), [] {});  // pins the queue non-empty
+  for (int i = 0; i < 256; ++i) {
+    eng.schedule((i + 1) * 1000, [] {});
+  }
+  eng.run_until(sim::milliseconds(1));
+  EXPECT_EQ(eng.queue_geometry().shift, sim::kDefaultWheelShift);
+  EXPECT_EQ(trace.count(sim::TraceKind::kQueueGeometry), 0u);
+}
+
+}  // namespace
