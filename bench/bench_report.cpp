@@ -52,6 +52,7 @@
 
 #include "bench/bench_util.h"
 #include "src/exp/stats.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace_buffer.h"
 #include "src/sim/engine.h"
 #include "src/sim/trace.h"
@@ -409,6 +410,107 @@ int main(int argc, char** argv) {
   const double overhead_sampled_pct = (median(r_sampled) - 1.0) * 100.0;
   constexpr double kSampledOverheadLimitPct = 6.0;
 
+  // SLO observability: recording overhead on the fig08 serving shape,
+  // histogram memory vs exact samples, and cross-shard fold bit-identity.
+  std::cerr << "[bench_report] SLO recording overhead (fig08 serving shape)...\n";
+  auto slo_grid = exp::figure_grid("fig08", {/*seeds=*/1, fast});
+  const std::size_t kSloRuns = fast ? 4 : 6;
+  if (slo_grid.size() > kSloRuns) slo_grid.resize(kSloRuns);
+  auto timed_slo_sweep = [&](sim::Duration slo_window) {
+    auto g = slo_grid;
+    for (auto& c : g) {
+      c.slo_window = slo_window;
+      // Longer serving runs than the figure uses: each arm must be large
+      // enough (~100 ms wall) that a single-digit-percent overhead is
+      // measurable over this machine's run-to-run jitter. The per-request
+      // recording cost is duration-independent, so the ratio is the same —
+      // only the noise floor drops.
+      c.server_duration = sim::seconds(10);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = exp::run_sweep(g, /*n_threads=*/1);
+    if (res.size() != g.size()) std::abort();
+    return wall_seconds(t0);
+  };
+  // Same alternating-arm + median-ratio discipline as the traced-sweep
+  // overheads: "off" (raw core::Histogram counters only, slo_window = -1)
+  // vs "on" (windowed SLO recording alongside), back-to-back per rep.
+  double slo_off_sec = 0, slo_on_sec = 0;
+  std::vector<double> r_slo;
+  constexpr int kSloReps = 7;
+  for (int rep = 0; rep < kSloReps; ++rep) {
+    const double off = timed_slo_sweep(-1);
+    const double on = timed_slo_sweep(0);
+    if (rep == 0 || off < slo_off_sec) slo_off_sec = off;
+    if (rep == 0 || on < slo_on_sec) slo_on_sec = on;
+    r_slo.push_back(on / off);
+  }
+
+  // Histogram memory at 1e6 recorded latencies vs keeping exact samples
+  // (8 bytes each, what core::Histogram stores).
+  std::cerr << "[bench_report] SLO histogram memory...\n";
+  constexpr std::uint64_t kMemSamples = 1000000;
+  obs::LatencyHistogram mem_hist;
+  std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+  for (std::uint64_t i = 0; i < kMemSamples; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Latencies spread over 1 us .. ~1 s so buckets across ~20 octaves fill.
+    mem_hist.add(static_cast<sim::Duration>(1000 + (lcg >> 34)));
+  }
+  if (mem_hist.count() != kMemSamples) std::abort();
+  const double slo_memory_bytes =
+      static_cast<double>(mem_hist.memory_bytes());
+  const double slo_memory_ratio =
+      static_cast<double>(kMemSamples * sizeof(sim::Duration)) /
+      slo_memory_bytes;
+
+  // Cross-shard fold identity: run the slice serially, re-run it as 3
+  // NDJSON shards, merge through the shard verifier, and require (a)
+  // per-run bit-identity (slo blocks included — results_identical compares
+  // them) and (b) the folded per-class histograms and XOR digests of the
+  // two passes to match exactly. This is the "merges buckets exactly"
+  // guarantee, checked end-to-end through serialization.
+  std::cerr << "[bench_report] SLO cross-shard fold identity...\n";
+  const auto slo_serial = exp::run_sweep(slo_grid, /*n_threads=*/1);
+  constexpr int kSloShards = 3;
+  std::vector<std::pair<std::string, std::string>> slo_shard_files;
+  for (int s = 0; s < kSloShards; ++s) {
+    const auto sub = exp::shard_grid(slo_grid, s, kSloShards);
+    const auto owned_runs =
+        exp::shard_run_indices(slo_grid.size(), s, kSloShards);
+    const auto sub_results = exp::run_sweep(sub, /*n_threads=*/1);
+    exp::ShardHeader h;
+    h.shard = s;
+    h.n_shards = kSloShards;
+    h.total_runs = slo_grid.size();
+    std::string content = exp::shard_header_json(h) + "\n";
+    for (std::size_t i = 0; i < sub_results.size(); ++i) {
+      content += exp::shard_line_json(owned_runs[i], sub_results[i]) + "\n";
+    }
+    slo_shard_files.emplace_back("shard" + std::to_string(s), content);
+  }
+  const exp::MergeReport slo_merge = exp::merge_shard_streams(slo_shard_files);
+  bool slo_fold_identical = slo_merge.ok() &&
+                            slo_merge.merged == slo_serial.size();
+  exp::SweepStats slo_stats_serial, slo_stats_merged;
+  for (std::size_t i = 0; i < slo_serial.size(); ++i) {
+    slo_stats_serial.add(slo_serial[i]);
+    if (slo_fold_identical) {
+      slo_fold_identical =
+          exp::results_identical(slo_serial[i], slo_merge.results[i]);
+      slo_stats_merged.add(slo_merge.results[i]);
+    }
+  }
+  if (slo_fold_identical) {
+    slo_fold_identical =
+        slo_stats_serial.slo() == slo_stats_merged.slo() &&
+        slo_stats_serial.slo_digest_xor() == slo_stats_merged.slo_digest_xor() &&
+        !slo_stats_serial.slo().empty();
+  }
+  const double slo_overhead_pct = (median(r_slo) - 1.0) * 100.0;
+  constexpr double kSloOverheadLimitPct = 5.0;
+  constexpr double kSloMemoryRatioGate = 10.0;
+
   // Regression gate on the batched trace hot path, against the previous
   // report at the same output path (if any).
   const double prev_batched_ns =
@@ -461,6 +563,15 @@ int main(int argc, char** argv) {
       << ",\n"
       << "  \"traced_sampled_sweep_overhead_pct\": " << overhead_sampled_pct
       << ",\n"
+      << "  \"slo_sweep_runs\": " << slo_grid.size() << ",\n"
+      << "  \"slo_sweep_secs_off\": " << slo_off_sec << ",\n"
+      << "  \"slo_sweep_secs_on\": " << slo_on_sec << ",\n"
+      << "  \"slo_overhead_pct\": " << slo_overhead_pct << ",\n"
+      << "  \"slo_memory_bytes_1e6\": " << slo_memory_bytes << ",\n"
+      << "  \"slo_memory_ratio\": " << slo_memory_ratio << ",\n"
+      << "  \"slo_fold_shards\": " << kSloShards << ",\n"
+      << "  \"slo_fold_identical\": "
+      << (slo_fold_identical ? "true" : "false") << ",\n"
       << "  \"sweep_stats\": " << exp::sweep_stats_json(stats) << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
@@ -484,7 +595,12 @@ int main(int argc, char** argv) {
             << trace_batched_ns << "ns/rec batched ("
             << trace_direct_ns / trace_batched_ns << "x); traced sweep +"
             << overhead_batch1_pct << "% at batch 1, +" << overhead_batched_pct
-            << "% batched, +" << overhead_sampled_pct << "% with sampling\n";
+            << "% batched, +" << overhead_sampled_pct << "% with sampling\n"
+            << "slo: +" << slo_overhead_pct << "% recording overhead, "
+            << slo_memory_bytes / 1024.0 << "KiB for 1e6 samples ("
+            << slo_memory_ratio << "x less than exact), fold "
+            << (slo_fold_identical ? "bit-identical across " : "DIVERGED at ")
+            << kSloShards << " shards\n";
   if (out.fail()) {
     std::cerr << "error: could not write " << out_path << "\n";
     return 2;
@@ -529,6 +645,27 @@ int main(int argc, char** argv) {
   if (!shard_ndjson_ok) {
     std::cerr << "FAIL: shard NDJSON stream failed merge verification "
               << "(status " << shard_ndjson_status << ")\n";
+    return 1;
+  }
+  // Windowed SLO recording must stay within 5% of the raw-counter cost on
+  // the serving shape it instruments (the add() path is a clamp + a bucket
+  // index + three integer updates — anything above noise means a
+  // regression crept into record()).
+  if (slo_overhead_pct >= kSloOverheadLimitPct) {
+    std::cerr << "FAIL: SLO recording overhead " << slo_overhead_pct
+              << "% exceeds the " << kSloOverheadLimitPct << "% gate (on "
+              << slo_on_sec << "s vs off " << slo_off_sec << "s)\n";
+    return 1;
+  }
+  if (slo_memory_ratio < kSloMemoryRatioGate) {
+    std::cerr << "FAIL: SLO histogram memory ratio " << slo_memory_ratio
+              << "x below the " << kSloMemoryRatioGate << "x gate ("
+              << slo_memory_bytes << " bytes at 1e6 samples)\n";
+    return 1;
+  }
+  if (!slo_fold_identical) {
+    std::cerr << "FAIL: SLO blocks did not fold bit-identically across "
+              << kSloShards << " NDJSON shards vs the serial sweep\n";
     return 1;
   }
   return bit_identical ? 0 : 1;

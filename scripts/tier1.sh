@@ -22,5 +22,13 @@ scripts/shard_roundtrip.sh
 
 # Gate check: bench_report fails (exit 1) if dispatch_batch_speedup < 1.3
 # or deepqueue_speedup_vs_binary < 0.9, or any determinism/overhead gate
-# trips. IRS_BENCH_FAST keeps the sweep portion smoke-sized.
+# trips (including the SLO recording-overhead, histogram-memory, and
+# cross-shard fold-identity gates). IRS_BENCH_FAST keeps the sweep portion
+# smoke-sized.
 IRS_BENCH_FAST=1 ./build/bench/bench_report build/BENCH_tier1_smoke.json
+
+# Optional UBSan pass (separate build tree, ~one extra compile): set
+# IRS_TIER1_UBSAN=1 to run scripts/ubsan.sh as part of the tier-1 line.
+if [[ "${IRS_TIER1_UBSAN:-0}" == "1" ]]; then
+  scripts/ubsan.sh
+fi

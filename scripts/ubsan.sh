@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Undefined-behaviour pass: build with UBSan (findings fatal via
+# -fno-sanitize-recover) in a separate build tree and run the full unit
+# suite plus the dedicated jobs registered under -DIRS_SANITIZE=undefined:
+# obs_pipeline_ubsan (trace/export/JSON integer round-trips) and slo_ubsan
+# (the SLO histogram's bucket-index shifts, 128-bit sums, FNV digest
+# mixing, and StatAccumulator moment folds — the arithmetic-heaviest code
+# in the repo, where signed overflow or an out-of-range shift would
+# otherwise hide behind whatever the optimiser happened to emit).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-ubsan -S . -DIRS_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ubsan -j --target irs_tests irs_sweep irs_sweep_merge
+cd build-ubsan && ctest --output-on-failure -j

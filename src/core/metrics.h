@@ -24,9 +24,13 @@ class Histogram {
 
   [[nodiscard]] sim::Duration mean() const {
     if (samples_.empty()) return 0;
-    std::int64_t total = 0;
+    // Accumulate in 128 bits: a sum of int64 ns durations overflows int64
+    // at ~9.2e18 ns·samples (e.g. 1e9 samples of ~9.2 s), which large
+    // serving runs can reach.
+    __int128 total = 0;
     for (auto v : samples_) total += v;
-    return total / static_cast<std::int64_t>(samples_.size());
+    return static_cast<sim::Duration>(
+        total / static_cast<__int128>(samples_.size()));
   }
 
   /// Exact percentile, p in [0, 100]: linear interpolation between closest

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "src/obs/json.h"
+#include "src/obs/slo.h"
 
 namespace irs::exp {
 
@@ -85,6 +86,13 @@ void result_json_fields(obs::JsonWriter& w, const RunResult& r) {
   w.field("sa_acked", r.sa_acked);
   w.field("sa_delay_avg_ns", static_cast<std::int64_t>(r.sa_delay_avg));
   w.field("sampler_digest", r.sampler_digest);
+  w.field("trace_dropped", r.trace_dropped);
+  w.field("trace_total_recorded", r.trace_total_recorded);
+  w.field("slo_digest", r.slo_digest);
+  if (!r.slo.empty()) {
+    w.key("slo");
+    obs::slo_result_json(w, r.slo);
+  }
 }
 
 namespace {
@@ -167,6 +175,14 @@ bool result_from_value(const obs::JsonValue& v, RunResult* r,
     return false;
   }
   if (!read_field(v, "sampler_digest", &out.sampler_digest, err)) return false;
+  if (!read_field(v, "trace_dropped", &out.trace_dropped, err)) return false;
+  if (!read_field(v, "trace_total_recorded", &out.trace_total_recorded, err)) {
+    return false;
+  }
+  if (!read_field(v, "slo_digest", &out.slo_digest, err)) return false;
+  if (const obs::JsonValue* slo = v.find("slo")) {
+    if (!obs::slo_result_from_value(*slo, &out.slo, err)) return false;
+  }
   *r = out;
   return true;
 }

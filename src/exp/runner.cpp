@@ -28,7 +28,10 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.lat_p99 == b.lat_p99 && a.lhp == b.lhp && a.lwp == b.lwp &&
          a.irs_migrations == b.irs_migrations && a.sa_sent == b.sa_sent &&
          a.sa_acked == b.sa_acked && a.sa_delay_avg == b.sa_delay_avg &&
-         a.sampler_digest == b.sampler_digest;
+         a.sampler_digest == b.sampler_digest &&
+         a.trace_dropped == b.trace_dropped &&
+         a.trace_total_recorded == b.trace_total_recorded &&
+         a.slo == b.slo && a.slo_digest == b.slo_digest;
 }
 
 RunResult run_scenario(const ScenarioConfig& cfg) {
@@ -64,6 +67,18 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   fg_opts.work_scale = cfg.work_scale;
   fg_opts.server_duration = cfg.server_duration;
   wl::Workload& fg_wl = world.attach(fg, wl::make_workload(cfg.fg, fg_opts));
+
+  // Windowed SLO tracking (server workloads; passive, so the simulation is
+  // unperturbed). slo_window < 0 disables; 0 means the 30 ms default.
+  if (cfg.slo_window >= 0) {
+    const sim::Duration w =
+        cfg.slo_window > 0 ? cfg.slo_window : obs::SloTracker::kDefaultWindow;
+    if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
+      jbb->enable_slo(w);
+    } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
+      ab->enable_slo(w);
+    }
+  }
 
   // Interfering VM(s): n_inter vCPUs pinned to pCPUs 0..n_inter-1, running
   // either CPU hogs or an endless real application (paper §5.1).
@@ -106,11 +121,14 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
     r.throughput = jbb->throughput();
     r.lat_mean = jbb->latency().mean();
     r.lat_p99 = jbb->latency().percentile(99.0);
+    r.slo = jbb->slo_result(world.engine().now());
   } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
     r.throughput = ab->throughput();
     r.lat_mean = ab->latency().mean();
     r.lat_p99 = ab->latency().percentile(99.0);
+    r.slo = ab->slo_result(world.engine().now());
   }
+  r.slo_digest = r.slo.digest();
 
   const hv::SchedStats& ss = world.host().sched_stats();
   r.lhp = ss.lhp_events;
@@ -125,6 +143,12 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
                        : 0;
   if (obs::Sampler* smp = world.sampler()) {
     r.sampler_digest = smp->digest();
+  }
+  {
+    sim::Trace& trace = world.host().trace();
+    if (trace.enabled()) trace.flush_buffers();  // count the staged tail too
+    r.trace_dropped = trace.dropped();
+    r.trace_total_recorded = trace.total_recorded();
   }
 
   if (dump != nullptr) {
@@ -153,6 +177,7 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
     if (obs::Sampler* smp = world.sampler()) {
       dump->series = smp->dump();
     }
+    dump->slo = r.slo;
   }
   return r;
 }

@@ -10,6 +10,7 @@
 #include "src/core/strategy.h"
 #include "src/core/world.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/slo.h"
 
 namespace irs::exp {
 
@@ -55,6 +56,11 @@ struct ScenarioConfig {
   sim::Duration sample_period = 0;
   /// >0 overrides the per-series ring capacity (0 = sampler default).
   std::size_t sample_capacity = 0;
+  /// Windowed SLO tracking for server workloads (jbb/ab): 0 = on at the
+  /// default 30 ms credit-window cadence, >0 = on at that window, <0 = off
+  /// (the bench overhead gate's "raw counters only" arm). Tracking is
+  /// passive — every other result field is bit-identical either way.
+  sim::Duration slo_window = 0;
 };
 
 /// Metrics extracted from one run.
@@ -79,6 +85,15 @@ struct RunResult {
   /// Determinism sentinel: equal configs must produce equal digests
   /// regardless of sweep thread count.
   std::uint64_t sampler_digest = 0;
+  /// Trace-ring truncation telemetry (0/0 when tracing was off): folds and
+  /// merges warn instead of silently aggregating a truncated run.
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t trace_total_recorded = 0;
+  /// Windowed SLO capture (empty unless a server workload ran with
+  /// cfg.slo_window >= 0) and its digest — XOR-folded through sweeps like
+  /// sampler_digest, and the merge's bucket-exactness sentinel.
+  obs::SloResult slo;
+  std::uint64_t slo_digest = 0;
 };
 
 /// A run's trace, captured for export: the snapshot (time-ordered, flushed)
@@ -88,6 +103,8 @@ struct TraceDump {
   obs::TraceMeta meta;
   /// Sampler series captured at the end of the run (counter tracks).
   std::vector<obs::SeriesData> series;
+  /// Windowed SLO capture (empty for non-server workloads).
+  obs::SloResult slo;
 };
 
 /// Exact equality over every RunResult field (doubles compared bitwise via

@@ -302,6 +302,9 @@ MergeReport merge_shard_streams(
   for (std::uint64_t i = 0; i < rep.expected_runs; ++i) {
     if (rep.present[i]) {
       ++rep.merged;
+      if (rep.results[i].trace_dropped > 0) {
+        rep.truncated_trace_runs.push_back(i);
+      }
     } else {
       rep.missing.push_back(i);
     }
@@ -361,6 +364,7 @@ std::string merge_summary_json(const MergeReport& rep) {
   run_list("missing", rep.missing);
   run_list("duplicates", rep.duplicate_runs);
   run_list("conflicts", rep.conflict_runs);
+  run_list("truncated_traces", rep.truncated_trace_runs);
   w.key("missing_shards");
   w.begin_array();
   for (const int s : rep.missing_shards) w.value(s);

@@ -140,6 +140,10 @@ struct MergeReport {
   std::vector<std::uint64_t> missing;         // ascending
   std::vector<std::uint64_t> duplicate_runs;  // ascending, deduped
   std::vector<std::uint64_t> conflict_runs;   // ascending, deduped
+  /// Merged runs whose trace ring wrapped (trace_dropped > 0): their
+  /// timeline-derived numbers are partial. Not a status bit — the merge is
+  /// still exact — but the CLI warns so they aren't folded silently.
+  std::vector<std::uint64_t> truncated_trace_runs;  // ascending
   std::vector<int> missing_shards;            // no file claimed this index
   std::vector<std::string> truncated_files;
   std::vector<std::string> errors;  // human-readable detail, in input order

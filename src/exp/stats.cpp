@@ -78,6 +78,25 @@ double StatAccumulator::percentile(double p) const {
   return max_;  // unreachable: bucket counts sum to n_
 }
 
+void StatAccumulator::merge(const StatAccumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  // Chan et al. parallel combine of (n, mean, M2).
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double d = o.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += d * (nb / n_total);
+  m2_ += o.m2_ + d * d * (na * nb / n_total);
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  for (const auto& [key, cnt] : o.buckets_) buckets_[key] += cnt;
+}
+
 // ---------------------------------------------------------------------------
 // SweepStats
 // ---------------------------------------------------------------------------
@@ -132,6 +151,52 @@ void SweepStats::add(const RunResult& r) {
   ++runs_;
   if (r.finished) ++finished_;
   for (std::size_t i = 0; i < kNMetrics; ++i) acc_[i].add(kMetrics[i].get(r));
+  slo_digest_xor_ ^= r.slo_digest;
+  fold_slo(slo_, r.slo);
+}
+
+void fold_slo(obs::SloResult& acc, const obs::SloResult& r) {
+  if (r.empty()) return;
+  if (acc.empty()) {
+    acc = r;
+    return;
+  }
+  for (const obs::SloClassResult& c : r.classes) {
+    obs::SloClassResult* dst = nullptr;
+    for (obs::SloClassResult& d : acc.classes) {
+      if (d.name == c.name) {
+        dst = &d;
+        break;
+      }
+    }
+    if (dst == nullptr) {
+      acc.classes.push_back(c);
+      continue;
+    }
+    dst->total.merge(c.total);
+    for (const obs::SloWindow& w : c.windows) {
+      obs::SloWindow* dw = nullptr;
+      for (obs::SloWindow& x : dst->windows) {
+        if (x.index == w.index) {
+          dw = &x;
+          break;
+        }
+      }
+      if (dw == nullptr) {
+        dst->windows.push_back(w);
+      } else {
+        dw->count += w.count;
+        dw->violations += w.violations;
+        dw->p50 = std::max(dw->p50, w.p50);
+        dw->p99 = std::max(dw->p99, w.p99);
+        dw->p999 = std::max(dw->p999, w.p999);
+      }
+    }
+    std::sort(dst->windows.begin(), dst->windows.end(),
+              [](const obs::SloWindow& a, const obs::SloWindow& b) {
+                return a.index < b.index;
+              });
+  }
 }
 
 const StatAccumulator& SweepStats::metric(std::size_t i) const {
@@ -162,6 +227,34 @@ std::string sweep_stats_json(const SweepStats& s) {
     w.end_object();
   }
   w.end_object();
+  if (!s.slo().empty()) {
+    const obs::SloResult& slo = s.slo();
+    w.key("slo");
+    w.begin_object();
+    w.field("digest_xor", s.slo_digest_xor());
+    w.field("window_ns", static_cast<std::int64_t>(slo.window));
+    w.key("classes");
+    w.begin_array();
+    for (const obs::SloClassResult& c : slo.classes) {
+      w.begin_object();
+      w.field("name", c.name);
+      w.field("threshold_ns", static_cast<std::int64_t>(c.spec.threshold));
+      w.field("objective", c.spec.objective);
+      w.field("count", c.total.count());
+      w.field("violations", c.violations());
+      w.field("mean_ns", static_cast<std::int64_t>(c.total.mean()));
+      w.field("p50_ns", static_cast<std::int64_t>(c.total.percentile(50)));
+      w.field("p99_ns", static_cast<std::int64_t>(c.total.percentile(99)));
+      w.field("p999_ns",
+              static_cast<std::int64_t>(c.total.percentile(99.9)));
+      w.field("max_ns", static_cast<std::int64_t>(c.total.max()));
+      w.field("windows", c.windows.size());
+      w.field("hist_digest", c.total.digest());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -206,6 +299,7 @@ NdjsonFoldReport fold_ndjson_stream(std::istream& in, SweepStats* stats) {
       continue;
     }
     ++rep.results;
+    if (r.trace_dropped > 0) ++rep.truncated_traces;
     stats->add(r);
   }
   return rep;

@@ -51,6 +51,12 @@ class StatAccumulator {
   /// exact order statistic. p <= 0 returns min(), p >= 100 returns max().
   [[nodiscard]] double percentile(double p) const;
 
+  /// Fold another accumulator in, as if its samples had been add()ed here:
+  /// count/min/max and the percentile sketch merge exactly; mean/m2 merge
+  /// via Chan's parallel update (deterministic for a fixed merge order,
+  /// equal to serial accumulation up to float rounding).
+  void merge(const StatAccumulator& o);
+
  private:
   /// Order-preserving bucket key: 0 for zero, positive for positive v,
   /// mirrored negative for negative v. Exponent plus top 5 mantissa bits.
@@ -83,14 +89,34 @@ class SweepStats {
   /// Accumulator for metric_names()[i].
   [[nodiscard]] const StatAccumulator& metric(std::size_t i) const;
 
+  /// Sweep-wide SLO fold: class histograms merged bucket-exact across every
+  /// run seen (see fold_slo). Empty when no run carried an slo block.
+  [[nodiscard]] const obs::SloResult& slo() const { return slo_; }
+  /// XOR of every run's slo_digest — the order-independent identity
+  /// sentinel the shard merge checks, mirroring sampler digests.
+  [[nodiscard]] std::uint64_t slo_digest_xor() const {
+    return slo_digest_xor_;
+  }
+
  private:
   std::uint64_t runs_ = 0;
   std::uint64_t finished_ = 0;
   std::vector<StatAccumulator> acc_;
+  obs::SloResult slo_;
+  std::uint64_t slo_digest_xor_ = 0;
 };
 
+/// Fold one run's SLO capture into `acc`: classes match by name, totals
+/// merge bucket-exact (integer histogram fold — order- and
+/// grouping-independent), windows merge by index summing count/violations
+/// and keeping the max percentile (a conservative "worst run" envelope:
+/// percentiles of disjoint streams do not average). Shared by
+/// average_results and SweepStats.
+void fold_slo(obs::SloResult& acc, const obs::SloResult& r);
+
 /// Stable JSON rendering of a SweepStats (fixed key order; count, mean,
-/// stddev, min, max, p50/p90/p99 per metric).
+/// stddev, min, max, p50/p90/p99 per metric; an "slo" section with the
+/// folded per-class distributions when any run carried one).
 std::string sweep_stats_json(const SweepStats& s);
 
 /// Outcome of a streaming fold over an NDJSON sweep stream.
@@ -99,6 +125,10 @@ struct NdjsonFoldReport {
   std::uint64_t headers = 0;  // shard-header lines skipped
   std::uint64_t results = 0;  // result lines folded
   std::uint64_t bad_lines = 0;
+  /// Result lines whose run had a truncated trace ring (trace_dropped > 0):
+  /// their timeline-derived numbers are partial, so consumers warn rather
+  /// than silently folding them.
+  std::uint64_t truncated_traces = 0;
   std::vector<std::string> errors;  // one per bad line, capped
   [[nodiscard]] bool ok() const { return bad_lines == 0; }
 };

@@ -1,11 +1,14 @@
 #include "src/exp/sweep.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "src/exp/stats.h"
 
 namespace irs::exp {
 
@@ -182,6 +185,10 @@ RunResult average_results(const std::vector<RunResult>& rs) {
     // XOR keeps the digest order-independent and zero when sampling was off
     // everywhere; an average would be meaningless for a hash.
     acc.sampler_digest ^= r.sampler_digest;
+    acc.slo_digest ^= r.slo_digest;
+    acc.trace_dropped += r.trace_dropped;
+    acc.trace_total_recorded += r.trace_total_recorded;
+    fold_slo(acc.slo, r.slo);  // bucket-exact class fold (see exp/stats.h)
   }
   const double n = static_cast<double>(rs.size());
   acc.fg_makespan = static_cast<sim::Duration>(makespan / n);

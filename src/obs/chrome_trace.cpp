@@ -93,6 +93,20 @@ void counter_event(JsonWriter& w, const std::string& name, sim::Time when,
       .end_object();
 }
 
+void counter_event_f(JsonWriter& w, const std::string& name, sim::Time when,
+                     double value) {
+  w.begin_object()
+      .field("name", name)
+      .field("ph", "C")
+      .field("pid", kPidCounters)
+      .field("ts", sim::to_us(when))
+      .key("args")
+      .begin_object()
+      .field("value", value)
+      .end_object()
+      .end_object();
+}
+
 void instant_event(JsonWriter& w, const std::string& name, int pid, int tid,
                    sim::Time when, const char* scope, std::int32_t arg_task) {
   w.begin_object()
@@ -139,7 +153,8 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
       meta_event(w, "thread_name", kPidGuest, v.id, vcpu_label(meta, v.id));
     }
   }
-  if (opt.counters != nullptr && !opt.counters->empty()) {
+  if ((opt.counters != nullptr && !opt.counters->empty()) ||
+      (opt.slo != nullptr && !opt.slo->empty())) {
     meta_event(w, "process_name", kPidCounters, 0, "counters");
   }
 
@@ -264,6 +279,23 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
     for (const auto& s : *opt.counters) {
       for (const auto& smp : s.samples) {
         counter_event(w, s.name, smp.when, smp.value);
+      }
+    }
+  }
+
+  if (opt.slo != nullptr && !opt.slo->empty()) {
+    for (const auto& c : opt.slo->classes) {
+      for (const SloWindow& win : c.windows) {
+        // Step each track at the window's start time; Perfetto holds the
+        // value until the next sample, so gaps (empty windows) read as the
+        // previous window's level — acceptable for a step series.
+        const sim::Time at = win.index * opt.slo->window;
+        counter_event_f(w, "slo:" + c.name + ":p50", at, sim::to_ms(win.p50));
+        counter_event_f(w, "slo:" + c.name + ":p99", at, sim::to_ms(win.p99));
+        counter_event_f(w, "slo:" + c.name + ":p999", at,
+                        sim::to_ms(win.p999));
+        counter_event_f(w, "slo:" + c.name + ":burn", at,
+                        burn_rate(win, c.spec));
       }
     }
   }

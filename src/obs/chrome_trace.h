@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/obs/sampler.h"
+#include "src/obs/slo.h"
 #include "src/sim/trace.h"
 
 namespace irs::obs {
@@ -57,6 +58,10 @@ struct ChromeTraceOptions {
   bool guest_lanes = false;
   /// When set, each series renders as a Perfetto "C" counter track.
   const std::vector<SeriesData>* counters = nullptr;
+  /// When set, each SLO class renders per-window counter tracks
+  /// ("slo:<class>:p50/p99/p999" in ms and "slo:<class>:burn", the
+  /// error-budget burn rate), stepped at window starts.
+  const SloResult* slo = nullptr;
 };
 
 /// Records must be in snapshot order (sorted by (when, seq)).

@@ -1,0 +1,546 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace irs::obs {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram — bucket geometry
+// ---------------------------------------------------------------------------
+//
+// Index layout (kSub = 32):
+//   v in [0, 64)            -> index v                (unit buckets, exact)
+//   v in [2^(k), 2^(k+1)),
+//        k >= 6             -> shift = k - 5,
+//                              index = shift*32 + (v >> shift)  (32/octave)
+// Consecutive octaves tile contiguously: the first log octave [64, 128)
+// maps to [64, 96), the next to [96, 128), and so on — index is a
+// monotone, gap-free function of v.
+
+namespace {
+
+int bucket_index_impl(std::int64_t v) {
+  if (v <= 0) return 0;
+  if (v > LatencyHistogram::kMaxValueNs) v = LatencyHistogram::kMaxValueNs;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < 2 * static_cast<std::uint64_t>(LatencyHistogram::kSub)) {
+    return static_cast<int>(u);
+  }
+  const int shift = std::bit_width(u) - (LatencyHistogram::kMantissaBits + 1);
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(shift) << LatencyHistogram::kMantissaBits) +
+      (u >> shift));
+}
+
+}  // namespace
+
+int LatencyHistogram::bucket_index(std::int64_t v) {
+  return bucket_index_impl(v);
+}
+
+const int LatencyHistogram::kNumBuckets =
+    bucket_index_impl(LatencyHistogram::kMaxValueNs) + 1;
+
+std::int64_t LatencyHistogram::bucket_lower(int idx) {
+  if (idx < 2 * kSub) return idx;
+  const int shift = (idx >> kMantissaBits) - 1;
+  const std::int64_t base =
+      static_cast<std::int64_t>((idx & (kSub - 1)) | kSub);
+  return base << shift;
+}
+
+std::int64_t LatencyHistogram::bucket_value(int idx) {
+  if (idx < 2 * kSub) return idx;  // unit bucket: exact
+  const int shift = (idx >> kMantissaBits) - 1;
+  const std::int64_t lower = bucket_lower(idx);
+  // Midpoint of [lower, lower + 2^shift).
+  return lower + (std::int64_t{1} << shift) / 2;
+}
+
+void LatencyHistogram::add(sim::Duration v) {
+  ensure_buckets();
+  std::int64_t clamped = v < 0 ? 0 : v;
+  if (clamped > kMaxValueNs) clamped = kMaxValueNs;
+  if (count_ == 0) {
+    min_ = clamped;
+    max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  ++count_;
+  sum_ += static_cast<unsigned __int128>(clamped);
+  ++counts_[static_cast<std::size_t>(bucket_index_impl(clamped))];
+}
+
+sim::Duration LatencyHistogram::mean() const {
+  if (count_ == 0) return 0;
+  return static_cast<sim::Duration>(sum_ / count_);
+}
+
+std::uint64_t LatencyHistogram::sum_lo() const {
+  return static_cast<std::uint64_t>(sum_);
+}
+
+std::uint64_t LatencyHistogram::sum_hi() const {
+  return static_cast<std::uint64_t>(sum_ >> 64);
+}
+
+sim::Duration LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const auto k = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const std::uint64_t rank = std::max<std::uint64_t>(k, 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      return std::clamp<sim::Duration>(bucket_value(static_cast<int>(i)),
+                                       min_, max_);
+    }
+  }
+  return max_;  // unreachable: bucket counts sum to count_
+}
+
+void LatencyHistogram::percentiles3(sim::Duration* p50, sim::Duration* p99,
+                                    sim::Duration* p999) const {
+  *p50 = *p99 = *p999 = 0;
+  if (count_ == 0) return;
+  const auto rank_of = [this](double p) {
+    return std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            std::ceil(p / 100.0 * static_cast<double>(count_))),
+        1);
+  };
+  // Ranks are ordered, so one cumulative pass resolves all three; the scan
+  // stops at max()'s bucket, not the vector end.
+  const std::uint64_t r50 = rank_of(50.0);
+  const std::uint64_t r99 = rank_of(99.0);
+  const std::uint64_t r999 = rank_of(99.9);
+  const auto lo = static_cast<std::size_t>(bucket_index_impl(min_));
+  const auto hi =
+      std::min(static_cast<std::size_t>(bucket_index_impl(max_)) + 1,
+               counts_.size());
+  std::uint64_t cum = 0;
+  int stage = 0;  // next unresolved: 0 = p50, 1 = p99, 2 = p999
+  for (std::size_t i = lo; i < hi && stage < 3; ++i) {
+    cum += counts_[i];
+    const sim::Duration v = std::clamp<sim::Duration>(
+        bucket_value(static_cast<int>(i)), min_, max_);
+    if (stage == 0 && cum >= r50) {
+      *p50 = v;
+      stage = 1;
+    }
+    if (stage == 1 && cum >= r99) {
+      *p99 = v;
+      stage = 2;
+    }
+    if (stage == 2 && cum >= r999) {
+      *p999 = v;
+      stage = 3;
+    }
+  }
+  if (stage < 3) *p999 = max_;  // unreachable: counts sum to count_
+  if (stage < 2) *p99 = max_;
+  if (stage < 1) *p50 = max_;
+}
+
+std::uint64_t LatencyHistogram::count_above(sim::Duration threshold) const {
+  if (count_ == 0) return 0;
+  if (threshold < 0) return count_;
+  // Buckets strictly above the one containing the threshold are certain
+  // violations; the threshold's own bucket counts as within-SLO (values
+  // there are indistinguishable from the threshold at bucket resolution).
+  const int t = bucket_index_impl(threshold);
+  const auto hi =
+      std::min(static_cast<std::size_t>(bucket_index_impl(max_)) + 1,
+               counts_.size());
+  std::uint64_t above = 0;
+  for (std::size_t i = static_cast<std::size_t>(t) + 1; i < hi; ++i) {
+    above += counts_[i];
+  }
+  return above;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  if (o.count_ == 0) return;
+  ensure_buckets();
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  // o's nonzero buckets all lie in [index(o.min), index(o.max)] — a 30 ms
+  // serving window spans ~100 buckets, not the full table, and per-window
+  // merges are on the tracker's near-hot path.
+  const auto lo = static_cast<std::size_t>(bucket_index_impl(o.min_));
+  const auto hi = std::min(
+      static_cast<std::size_t>(bucket_index_impl(o.max_)) + 1,
+      o.counts_.size());
+  for (std::size_t i = lo; i < hi; ++i) {
+    counts_[i] += o.counts_[i];
+  }
+}
+
+void LatencyHistogram::clear() {
+  // Zero only the occupied range (add() never touches outside
+  // [index(min), index(max)]); per-window clears would otherwise sweep the
+  // whole table 33 times a simulated second.
+  if (count_ > 0 && !counts_.empty()) {
+    const auto lo = static_cast<std::size_t>(bucket_index_impl(min_));
+    const auto hi = std::min(
+        static_cast<std::size_t>(bucket_index_impl(max_)) + 1,
+        counts_.size());
+    std::fill(counts_.begin() + static_cast<std::ptrdiff_t>(lo),
+              counts_.begin() + static_cast<std::ptrdiff_t>(hi), 0);
+  }
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::size_t LatencyHistogram::memory_bytes() const {
+  return sizeof(*this) + counts_.capacity() * sizeof(std::uint64_t);
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_str(std::uint64_t& h, const std::string& s) {
+  fnv(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t LatencyHistogram::digest() const {
+  std::uint64_t h = kFnvOffset;
+  fnv(h, count_);
+  fnv(h, sum_lo());
+  fnv(h, sum_hi());
+  fnv(h, static_cast<std::uint64_t>(min()));
+  fnv(h, static_cast<std::uint64_t>(max()));
+  for_each_bucket([&h](int idx, std::uint64_t c) {
+    fnv(h, static_cast<std::uint64_t>(idx));
+    fnv(h, c);
+  });
+  return h;
+}
+
+void LatencyHistogram::restore_bucket(int idx, std::uint64_t count) {
+  ensure_buckets();
+  if (idx < 0 || idx >= kNumBuckets) return;
+  counts_[static_cast<std::size_t>(idx)] = count;
+}
+
+void LatencyHistogram::restore_summary(std::uint64_t count,
+                                       std::uint64_t sum_lo,
+                                       std::uint64_t sum_hi,
+                                       sim::Duration min, sim::Duration max) {
+  ensure_buckets();
+  count_ = count;
+  sum_ = (static_cast<unsigned __int128>(sum_hi) << 64) | sum_lo;
+  min_ = min;
+  max_ = max;
+}
+
+bool LatencyHistogram::operator==(const LatencyHistogram& o) const {
+  if (count_ != o.count_ || sum_ != o.sum_ || min() != o.min() ||
+      max() != o.max()) {
+    return false;
+  }
+  // Lazily-sized vectors: compare as-if zero-extended.
+  const std::size_t n = std::max(counts_.size(), o.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < counts_.size() ? counts_[i] : 0;
+    const std::uint64_t b = i < o.counts_.size() ? o.counts_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SloWindow / SloClassResult / SloResult
+// ---------------------------------------------------------------------------
+
+double burn_rate(const SloWindow& w, const SloSpec& spec) {
+  if (w.count == 0) return 0.0;
+  const double budget = spec.budget();
+  if (budget <= 0.0) return w.violations > 0 ? HUGE_VAL : 0.0;
+  const double viol_frac =
+      static_cast<double>(w.violations) / static_cast<double>(w.count);
+  return viol_frac / budget;
+}
+
+bool SloClassResult::operator==(const SloClassResult& o) const {
+  return name == o.name && spec == o.spec && total == o.total &&
+         windows == o.windows;
+}
+
+std::uint64_t SloResult::digest() const {
+  if (classes.empty()) return 0;
+  std::uint64_t h = kFnvOffset;
+  fnv(h, static_cast<std::uint64_t>(window));
+  fnv(h, classes.size());
+  for (const SloClassResult& c : classes) {
+    fnv_str(h, c.name);
+    fnv(h, static_cast<std::uint64_t>(c.spec.threshold));
+    fnv(h, std::bit_cast<std::uint64_t>(c.spec.objective));
+    fnv(h, c.total.digest());
+    fnv(h, c.windows.size());
+    for (const SloWindow& w : c.windows) {
+      fnv(h, static_cast<std::uint64_t>(w.index));
+      fnv(h, w.count);
+      fnv(h, w.violations);
+      fnv(h, static_cast<std::uint64_t>(w.p50));
+      fnv(h, static_cast<std::uint64_t>(w.p99));
+      fnv(h, static_cast<std::uint64_t>(w.p999));
+    }
+  }
+  return h;
+}
+
+bool SloResult::operator==(const SloResult& o) const {
+  return window == o.window && classes == o.classes;
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------------
+
+SloTracker::SloTracker(sim::Duration window)
+    : window_(window > 0 ? window : kDefaultWindow) {}
+
+std::size_t SloTracker::add_class(std::string name, SloSpec spec) {
+  ClassState c;
+  c.out.name = std::move(name);
+  c.out.spec = spec;
+  classes_.push_back(std::move(c));
+  return classes_.size() - 1;
+}
+
+void SloTracker::close_window(ClassState& c) {
+  if (c.cur_index < 0 || c.cur.count() == 0) {
+    c.cur_index = -1;
+    c.cur_violations = 0;
+    return;
+  }
+  SloWindow w;
+  w.index = c.cur_index;
+  w.count = c.cur.count();
+  w.violations = c.cur_violations;
+  c.cur.percentiles3(&w.p50, &w.p99, &w.p999);
+  c.out.windows.push_back(w);
+  c.out.total.merge(c.cur);
+  c.cur.clear();
+  c.cur_violations = 0;
+  c.cur_index = -1;
+}
+
+void SloTracker::record(std::size_t cls, sim::Time when,
+                        sim::Duration latency) {
+  ClassState& c = classes_[cls];
+  // Hot path: staying inside the open window is one compare. The division
+  // only runs when a window boundary is crossed (or on the first record).
+  if (c.cur_index < 0 || when >= c.cur_end) {
+    close_window(c);
+    const std::int64_t idx = when / window_;
+    c.cur_index = idx;
+    c.cur_end = (idx + 1) * window_;
+  }
+  c.cur.add(latency);
+  if (latency > c.out.spec.threshold) ++c.cur_violations;
+}
+
+void SloTracker::flush(sim::Time /*end*/) {
+  for (ClassState& c : classes_) close_window(c);
+}
+
+SloResult SloTracker::result() const {
+  SloResult r;
+  r.window = window_;
+  for (const ClassState& c : classes_) {
+    r.classes.push_back(c.out);
+    // An unflushed in-progress window folds into the snapshot so result()
+    // is usable mid-run; flush() first for canonical end-of-run output.
+    if (c.cur_index >= 0 && c.cur.count() > 0) {
+      SloClassResult& out = r.classes.back();
+      SloWindow w;
+      w.index = c.cur_index;
+      w.count = c.cur.count();
+      w.violations = c.cur_violations;
+      c.cur.percentiles3(&w.p50, &w.p99, &w.p999);
+      out.windows.push_back(w);
+      out.total.merge(c.cur);
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+void slo_result_json(JsonWriter& w, const SloResult& s) {
+  w.begin_object();
+  w.field("window_ns", static_cast<std::int64_t>(s.window));
+  w.key("classes");
+  w.begin_array();
+  for (const SloClassResult& c : s.classes) {
+    w.begin_object();
+    w.field("name", c.name);
+    w.field("threshold_ns", static_cast<std::int64_t>(c.spec.threshold));
+    w.field("objective", c.spec.objective);
+    w.field("count", c.total.count());
+    w.field("sum_lo", c.total.sum_lo());
+    w.field("sum_hi", c.total.sum_hi());
+    w.field("min_ns", static_cast<std::int64_t>(c.total.min()));
+    w.field("max_ns", static_cast<std::int64_t>(c.total.max()));
+    w.key("buckets");
+    w.begin_array();
+    c.total.for_each_bucket([&w](int idx, std::uint64_t cnt) {
+      w.begin_array();
+      w.value(idx);
+      w.value(cnt);
+      w.end_array();
+    });
+    w.end_array();
+    w.key("windows");
+    w.begin_array();
+    for (const SloWindow& win : c.windows) {
+      w.begin_array();
+      w.value(static_cast<std::int64_t>(win.index));
+      w.value(win.count);
+      w.value(win.violations);
+      w.value(static_cast<std::int64_t>(win.p50));
+      w.value(static_cast<std::int64_t>(win.p99));
+      w.value(static_cast<std::int64_t>(win.p999));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+bool slo_err(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+}  // namespace
+
+bool slo_result_from_value(const JsonValue& v, SloResult* out,
+                           std::string* err) {
+  if (!v.is_object()) return slo_err(err, "slo is not a JSON object");
+  SloResult s;
+  std::int64_t window = 0;
+  const JsonValue* f = v.find("window_ns");
+  if (f == nullptr || !f->get(&window)) {
+    return slo_err(err, "slo: missing or bad 'window_ns'");
+  }
+  s.window = window;
+  const JsonValue* classes = v.find("classes");
+  if (classes == nullptr || !classes->is_array()) {
+    return slo_err(err, "slo: missing or bad 'classes'");
+  }
+  for (const JsonValue& cv : classes->items) {
+    if (!cv.is_object()) return slo_err(err, "slo: class is not an object");
+    SloClassResult c;
+    std::int64_t threshold = 0, min_ns = 0, max_ns = 0;
+    std::uint64_t count = 0, sum_lo = 0, sum_hi = 0;
+    if ((f = cv.find("name")) == nullptr || !f->get(&c.name)) {
+      return slo_err(err, "slo class: missing 'name'");
+    }
+    if ((f = cv.find("threshold_ns")) == nullptr || !f->get(&threshold)) {
+      return slo_err(err, "slo class: missing 'threshold_ns'");
+    }
+    if ((f = cv.find("objective")) == nullptr ||
+        !f->get(&c.spec.objective)) {
+      return slo_err(err, "slo class: missing 'objective'");
+    }
+    c.spec.threshold = threshold;
+    if ((f = cv.find("count")) == nullptr || !f->get(&count)) {
+      return slo_err(err, "slo class: missing 'count'");
+    }
+    if ((f = cv.find("sum_lo")) == nullptr || !f->get(&sum_lo)) {
+      return slo_err(err, "slo class: missing 'sum_lo'");
+    }
+    if ((f = cv.find("sum_hi")) == nullptr || !f->get(&sum_hi)) {
+      return slo_err(err, "slo class: missing 'sum_hi'");
+    }
+    if ((f = cv.find("min_ns")) == nullptr || !f->get(&min_ns)) {
+      return slo_err(err, "slo class: missing 'min_ns'");
+    }
+    if ((f = cv.find("max_ns")) == nullptr || !f->get(&max_ns)) {
+      return slo_err(err, "slo class: missing 'max_ns'");
+    }
+    const JsonValue* buckets = cv.find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      return slo_err(err, "slo class: missing 'buckets'");
+    }
+    for (const JsonValue& bv : buckets->items) {
+      std::int64_t idx = 0;
+      std::uint64_t cnt = 0;
+      if (!bv.is_array() || bv.items.size() != 2 ||
+          !bv.items[0].get(&idx) || !bv.items[1].get(&cnt)) {
+        return slo_err(err, "slo class: bad bucket entry");
+      }
+      if (idx < 0 || idx >= LatencyHistogram::kNumBuckets) {
+        return slo_err(err, "slo class: bucket index out of range");
+      }
+      c.total.restore_bucket(static_cast<int>(idx), cnt);
+    }
+    c.total.restore_summary(count, sum_lo, sum_hi, min_ns, max_ns);
+    const JsonValue* windows = cv.find("windows");
+    if (windows == nullptr || !windows->is_array()) {
+      return slo_err(err, "slo class: missing 'windows'");
+    }
+    for (const JsonValue& wv : windows->items) {
+      if (!wv.is_array() || wv.items.size() != 6) {
+        return slo_err(err, "slo class: bad window entry");
+      }
+      SloWindow win;
+      std::int64_t idx = 0, p50 = 0, p99 = 0, p999 = 0;
+      if (!wv.items[0].get(&idx) || !wv.items[1].get(&win.count) ||
+          !wv.items[2].get(&win.violations) || !wv.items[3].get(&p50) ||
+          !wv.items[4].get(&p99) || !wv.items[5].get(&p999)) {
+        return slo_err(err, "slo class: bad window field");
+      }
+      win.index = idx;
+      win.p50 = p50;
+      win.p99 = p99;
+      win.p999 = p999;
+      c.windows.push_back(win);
+    }
+    s.classes.push_back(std::move(c));
+  }
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace irs::obs

@@ -1,0 +1,262 @@
+// Windowed tail-latency & SLO observability.
+//
+// The serving-workload figures (Fig. 8) are about *tail* latency under
+// interference, but core::Histogram keeps every sample (O(requests)
+// memory), cannot be merged across sweep shards, and has no time
+// resolution — it answers "what was p999 over the whole run", never "what
+// was p999 *during* the hog burst vs after the migrator reacted". This
+// header provides the streaming, mergeable, time-resolved alternative:
+//
+//   * LatencyHistogram — log-bucketed (HDR-style) latency recorder:
+//     fixed-geometry log-linear buckets with <= 1/64 (~1.6 %) relative
+//     error from 1 ns to 100 s, O(1) add, O(buckets) memory, and
+//     deterministic *exact-integer* merge — merging the histograms of N
+//     shards is bit-identical to recording the union stream, in any merge
+//     order. Counts, sum, min, max are exact; only percentiles are
+//     quantised to bucket representatives.
+//
+//   * SloTracker — aggregates per-class latencies into tumbling windows
+//     aligned to the 30 ms credit-accounting window (configurable; the
+//     same cadence obs::Sampler defaults to), emitting a per-window
+//     p50/p99/p999 time series plus violation counts against an SLO spec
+//     (threshold + objective fraction), from which error-budget burn rate
+//     per window falls out. Recording is entirely passive — no engine
+//     events — so a run with SLO tracking enabled is bit-identical to the
+//     same run without it.
+//
+// Everything here is integer-exact except SloSpec::objective (a double,
+// serialized in round-trip form), so results fold across NDJSON sweep
+// shards bit-identically and digests are comparable across processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/json_reader.h"
+#include "src/sim/time.h"
+
+namespace irs::obs {
+
+/// Log-bucketed latency histogram (HDR-style log-linear geometry).
+///
+/// Bucket layout: values 0..2*kSub-1 land in exact unit-width buckets;
+/// above that, each power-of-two octave splits into kSub equal sub-buckets,
+/// so the relative bucket width — and therefore the worst-case percentile
+/// error — is 1/kSub (= 1/32, ~3 %) and the midpoint representative is off
+/// by at most half that (~1.6 %). Values clamp to [0, kMaxValueNs]
+/// (100 simulated seconds; nothing this repo measures is slower).
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per octave; 32 => <= 1.6 % representative error.
+  static constexpr int kMantissaBits = 5;
+  static constexpr std::int64_t kSub = std::int64_t{1} << kMantissaBits;
+  /// 100 s in ns — the histogram's upper bound (larger values clamp).
+  static constexpr std::int64_t kMaxValueNs = 100'000'000'000'000 / 1000;
+
+  /// Bucket index for a clamped value; total bucket count in kNumBuckets.
+  static int bucket_index(std::int64_t v);
+  /// Inclusive lower bound of bucket `idx`.
+  static std::int64_t bucket_lower(int idx);
+  /// Deterministic representative (midpoint, exact for unit buckets).
+  static std::int64_t bucket_value(int idx);
+  static const int kNumBuckets;
+
+  void add(sim::Duration v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] sim::Duration min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] sim::Duration max() const { return count_ > 0 ? max_ : 0; }
+  /// Exact integer mean (sum accumulates in 128 bits — ~1.8e38 ns·samples,
+  /// unreachable — so no overflow at any request count).
+  [[nodiscard]] sim::Duration mean() const;
+  /// Low/high halves of the exact 128-bit sum (for serialization).
+  [[nodiscard]] std::uint64_t sum_lo() const;
+  [[nodiscard]] std::uint64_t sum_hi() const;
+
+  /// Nearest-rank percentile (p in [0,100]) from the buckets: the
+  /// representative of the bucket covering rank ceil(p/100*n), clamped to
+  /// the exact [min, max] — within ~1.6 % of the exact order statistic.
+  [[nodiscard]] sim::Duration percentile(double p) const;
+
+  /// p50/p99/p999 in one cumulative pass (what every window close needs —
+  /// one bounded scan instead of three full ones).
+  void percentiles3(sim::Duration* p50, sim::Duration* p99,
+                    sim::Duration* p999) const;
+
+  /// Fraction of samples strictly above `threshold` — computed from the
+  /// bucket containing the threshold, so it is exact whenever the
+  /// threshold falls on a bucket boundary and bucket-quantised otherwise.
+  [[nodiscard]] std::uint64_t count_above(sim::Duration threshold) const;
+
+  /// Exact integer fold of `o` into this histogram: equivalent to having
+  /// add()ed o's stream here, regardless of merge order or grouping.
+  void merge(const LatencyHistogram& o);
+
+  void clear();
+
+  /// Heap + object footprint in bytes (the O(buckets) memory claim; the
+  /// bench gates this against exact-sample storage).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// FNV-1a over count/sum/min/max and every nonzero (index, count) pair.
+  /// Equal digests <=> equal histograms (up to hash collision); merge
+  /// determinism condenses to one comparable word.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Visit nonzero buckets ascending: fn(index, count).
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] != 0) fn(static_cast<int>(i), counts_[i]);
+    }
+  }
+
+  /// Restore one bucket (deserialization; index from a prior
+  /// for_each_bucket walk). count/sum/min/max are restored separately via
+  /// restore_summary().
+  void restore_bucket(int idx, std::uint64_t count);
+  void restore_summary(std::uint64_t count, std::uint64_t sum_lo,
+                       std::uint64_t sum_hi, sim::Duration min,
+                       sim::Duration max);
+
+  bool operator==(const LatencyHistogram& o) const;
+
+ private:
+  void ensure_buckets() {
+    if (counts_.empty()) counts_.assign(static_cast<std::size_t>(kNumBuckets), 0);
+  }
+
+  std::uint64_t count_ = 0;
+  unsigned __int128 sum_ = 0;
+  sim::Duration min_ = 0;
+  sim::Duration max_ = 0;
+  std::vector<std::uint64_t> counts_;  // empty until first add (lazily sized)
+};
+
+/// A latency SLO: `objective` fraction of requests must complete within
+/// `threshold` (e.g. {20 ms, 0.999} = "p999 <= 20 ms").
+struct SloSpec {
+  sim::Duration threshold = 0;
+  double objective = 0.999;
+
+  /// Allowed violation fraction (the error budget per window).
+  [[nodiscard]] double budget() const { return 1.0 - objective; }
+  bool operator==(const SloSpec& o) const {
+    return threshold == o.threshold && objective == o.objective;
+  }
+};
+
+/// One closed tumbling window of one class: counts are exact integers,
+/// percentiles are bucket representatives from the window's histogram.
+struct SloWindow {
+  std::int64_t index = 0;  // window number: start time == index * window
+  std::uint64_t count = 0;
+  std::uint64_t violations = 0;  // latency > spec.threshold
+  sim::Duration p50 = 0;
+  sim::Duration p99 = 0;
+  sim::Duration p999 = 0;
+
+  bool operator==(const SloWindow& o) const {
+    return index == o.index && count == o.count &&
+           violations == o.violations && p50 == o.p50 && p99 == o.p99 &&
+           p999 == o.p999;
+  }
+};
+
+/// Error-budget burn rate of a window: observed violation fraction over
+/// the budget. 1.0 = burning exactly the budget; >1 = SLO-violating pace.
+double burn_rate(const SloWindow& w, const SloSpec& spec);
+
+/// One latency class (e.g. "jbb" transactions) as captured from a run.
+struct SloClassResult {
+  std::string name;
+  SloSpec spec;
+  LatencyHistogram total;          // whole-run distribution
+  std::vector<SloWindow> windows;  // non-empty windows, ascending by index
+
+  /// Whole-run violation count against spec.threshold.
+  [[nodiscard]] std::uint64_t violations() const {
+    return total.count_above(spec.threshold);
+  }
+  bool operator==(const SloClassResult& o) const;
+};
+
+/// The full SLO capture of one run — what RunResult carries, result_json
+/// serializes, and the sweep folder merges.
+struct SloResult {
+  sim::Duration window = 0;  // tumbling-window length; 0 = nothing tracked
+  std::vector<SloClassResult> classes;
+
+  [[nodiscard]] bool empty() const { return classes.empty(); }
+  /// FNV-1a over window length and every class (name, spec, histogram
+  /// digest, windows). 0 is reserved for the empty result.
+  [[nodiscard]] std::uint64_t digest() const;
+  bool operator==(const SloResult& o) const;
+};
+
+/// Aggregates per-class request latencies into tumbling windows aligned to
+/// simulated time zero (window i covers [i*window, (i+1)*window)), the
+/// same 30 ms cadence the credit scheduler accounts on and obs::Sampler
+/// samples on by default. record() is O(1); windows close lazily when a
+/// later record (or flush) moves past them, and empty windows are skipped.
+class SloTracker {
+ public:
+  /// Default window: the hypervisor's 30 ms credit-accounting period, so
+  /// "p999 recovered N windows after the migration" reads in scheduler
+  /// time units and lines up with sampler counter tracks.
+  static constexpr sim::Duration kDefaultWindow = sim::milliseconds(30);
+
+  explicit SloTracker(sim::Duration window = kDefaultWindow);
+
+  /// Register a latency class before recording. Returns its id.
+  std::size_t add_class(std::string name, SloSpec spec);
+
+  /// Record one request latency observed at simulated time `when` (its
+  /// completion time — the window it lands in). `when` must be
+  /// non-decreasing per class (simulated time is).
+  void record(std::size_t cls, sim::Time when, sim::Duration latency);
+
+  /// Close the in-progress window of every class (call at run end with
+  /// engine.now()). Idempotent; record() after flush() reopens windows.
+  void flush(sim::Time end);
+
+  [[nodiscard]] sim::Duration window() const { return window_; }
+  [[nodiscard]] std::size_t n_classes() const { return classes_.size(); }
+
+  /// Snapshot the capture. Call after flush() for complete final windows.
+  [[nodiscard]] SloResult result() const;
+
+ private:
+  struct ClassState {
+    SloClassResult out;
+    LatencyHistogram cur;           // in-progress window
+    std::uint64_t cur_violations = 0;
+    std::int64_t cur_index = -1;    // -1 = no window open
+    sim::Time cur_end = 0;          // exclusive end of the open window (the
+                                    // hot-path same-window test is a compare,
+                                    // not a division)
+  };
+
+  void close_window(ClassState& c);
+
+  sim::Duration window_;
+  std::vector<ClassState> classes_;
+};
+
+/// Serialize `s` as one JSON object on an open writer (fixed key order,
+/// integers exact, objective in round-trip form):
+///   {"window_ns":W,"classes":[{"name":..,"threshold_ns":..,"objective":..,
+///    "count":..,"sum_lo":..,"sum_hi":..,"min_ns":..,"max_ns":..,
+///    "buckets":[[idx,count],..],"windows":[[idx,count,viol,p50,p99,p999],..]}]}
+void slo_result_json(JsonWriter& w, const SloResult& s);
+
+/// Inverse of slo_result_json over a parsed value. Round-trips
+/// bit-identically: parse(serialize(s)) == s and re-serialization is
+/// byte-identical. On failure returns false and describes the field in
+/// *err (when non-null).
+bool slo_result_from_value(const JsonValue& v, SloResult* out,
+                           std::string* err);
+
+}  // namespace irs::obs

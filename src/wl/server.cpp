@@ -31,6 +31,9 @@ guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
         return guest::Action::unlock(*shape_.mutex);
       case 4:  // transaction complete
         shape_.latency->add(now - txn_start_);
+        if (shape_.slo != nullptr) {
+          shape_.slo->record(shape_.slo_class, now, now - txn_start_);
+        }
         if (shape_.work != nullptr) {
           shape_.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
         }
@@ -64,6 +67,9 @@ guest::Action AbWorkerBehavior::next(guest::Task& t, sim::Time now,
             rng.jittered(shape_.service_mean, 0.5));
       case 2:  // response sent
         shape_.latency->add(now - arrival_);
+        if (shape_.slo != nullptr) {
+          shape_.slo->record(shape_.slo_class, now, now - arrival_);
+        }
         if (shape_.work != nullptr) {
           shape_.work->inc(task_shard(t), obs::Cnt::kWorkUnits);
         }
@@ -100,6 +106,10 @@ void JbbWorkload::instantiate(guest::GuestKernel& k) {
   shape_->mutex = &sync_->make_mutex("jbb.shared");
   shape_->latency = &latency_;
   shape_->work = &work_;
+  if (slo_ != nullptr) {
+    shape_->slo = slo_.get();
+    shape_->slo_class = 0;  // the class enable_slo() registered
+  }
   for (int i = 0; i < warehouses_; ++i) {
     behaviors_.push_back(std::make_unique<JbbWorkerBehavior>(*shape_));
     tasks_.push_back(&k.create_task("jbb.wh" + std::to_string(i),
@@ -109,6 +119,25 @@ void JbbWorkload::instantiate(guest::GuestKernel& k) {
 
 double JbbWorkload::throughput() const {
   return progress() / sim::to_sec(run_for_);
+}
+
+obs::SloSpec JbbWorkload::default_slo() {
+  return obs::SloSpec{sim::milliseconds(10), 0.999};
+}
+
+void JbbWorkload::enable_slo(sim::Duration window, obs::SloSpec spec) {
+  slo_ = std::make_unique<obs::SloTracker>(window);
+  slo_->add_class("jbb", spec);
+  if (shape_ != nullptr) {  // enabled after instantiate(): wire in place
+    shape_->slo = slo_.get();
+    shape_->slo_class = 0;
+  }
+}
+
+obs::SloResult JbbWorkload::slo_result(sim::Time end) {
+  if (slo_ == nullptr) return {};
+  slo_->flush(end);
+  return slo_->result();
 }
 
 AbWorkload::AbWorkload(int connections, sim::Duration run_for,
@@ -128,6 +157,10 @@ void AbWorkload::instantiate(guest::GuestKernel& k) {
   shape_->think_mean = think_mean_;
   shape_->latency = &latency_;
   shape_->work = &work_;
+  if (slo_ != nullptr) {
+    shape_->slo = slo_.get();
+    shape_->slo_class = 0;
+  }
   for (int i = 0; i < connections_; ++i) {
     behaviors_.push_back(std::make_unique<AbWorkerBehavior>(*shape_));
     tasks_.push_back(&k.create_task("ab.c" + std::to_string(i),
@@ -137,6 +170,25 @@ void AbWorkload::instantiate(guest::GuestKernel& k) {
 
 double AbWorkload::throughput() const {
   return progress() / sim::to_sec(run_for_);
+}
+
+obs::SloSpec AbWorkload::default_slo() {
+  return obs::SloSpec{sim::milliseconds(20), 0.999};
+}
+
+void AbWorkload::enable_slo(sim::Duration window, obs::SloSpec spec) {
+  slo_ = std::make_unique<obs::SloTracker>(window);
+  slo_->add_class("ab", spec);
+  if (shape_ != nullptr) {
+    shape_->slo = slo_.get();
+    shape_->slo_class = 0;
+  }
+}
+
+obs::SloResult AbWorkload::slo_result(sim::Time end) {
+  if (slo_ == nullptr) return {};
+  slo_->flush(end);
+  return slo_->result();
 }
 
 }  // namespace irs::wl

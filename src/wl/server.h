@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/core/metrics.h"
+#include "src/obs/slo.h"
 #include "src/wl/behavior.h"
 #include "src/wl/workload.h"
 
@@ -26,6 +27,10 @@ struct ServerShape {
   core::Histogram* latency = nullptr;
   /// Per-task counters of completed requests/transactions (may be null).
   obs::Counters* work = nullptr;
+  /// Optional windowed SLO recorder (see obs/slo.h); recording is passive,
+  /// so runs are bit-identical with or without it.
+  obs::SloTracker* slo = nullptr;
+  std::size_t slo_class = 0;
 };
 
 class JbbWorkerBehavior final : public guest::Behavior {
@@ -60,11 +65,23 @@ class JbbWorkload final : public Workload {
   /// Transactions per simulated second.
   [[nodiscard]] double throughput() const;
 
+  /// Default SLO: 10 ms transaction latency at three nines (25x the 400 us
+  /// service mean — comfortably met uncontended, blown once a hog steals a
+  /// 30 ms timeslice from a lock holder).
+  static obs::SloSpec default_slo();
+  /// Track windowed SLO latency (call before the run). Passive: the
+  /// simulation is bit-identical with or without it.
+  void enable_slo(sim::Duration window = obs::SloTracker::kDefaultWindow,
+                  obs::SloSpec spec = default_slo());
+  /// Flush open windows at `end` and snapshot. Empty if SLO not enabled.
+  [[nodiscard]] obs::SloResult slo_result(sim::Time end);
+
  private:
   int warehouses_;
   sim::Duration run_for_;
   sim::Duration txn_mean_;
   core::Histogram latency_;
+  std::unique_ptr<obs::SloTracker> slo_;
   std::unique_ptr<ServerShape> shape_;
 };
 
@@ -77,12 +94,20 @@ class AbWorkload final : public Workload {
   [[nodiscard]] core::Histogram& latency() { return latency_; }
   [[nodiscard]] double throughput() const;
 
+  /// Default SLO: 20 ms request latency at three nines (10x the 2 ms
+  /// service mean; requests queue behind preempted vCPUs under hogs).
+  static obs::SloSpec default_slo();
+  void enable_slo(sim::Duration window = obs::SloTracker::kDefaultWindow,
+                  obs::SloSpec spec = default_slo());
+  [[nodiscard]] obs::SloResult slo_result(sim::Time end);
+
  private:
   int connections_;
   sim::Duration run_for_;
   sim::Duration service_mean_;
   sim::Duration think_mean_;
   core::Histogram latency_;
+  std::unique_ptr<obs::SloTracker> slo_;
   std::unique_ptr<ServerShape> shape_;
 };
 

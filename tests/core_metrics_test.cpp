@@ -77,6 +77,18 @@ TEST(Histogram, PercentileIsConstAndSurvivesInterleavedAdds) {
   EXPECT_EQ(ch.max(), 50);
 }
 
+TEST(Histogram, MeanDoesNotOverflowInt64) {
+  // Three samples of ~9e18 ns sum to ~2.7e19, past INT64_MAX (~9.2e18):
+  // an int64 accumulator would wrap negative. The 128-bit accumulator
+  // returns the exact mean.
+  const sim::Duration big = 9'000'000'000'000'000'000;  // 9e18, fits int64
+  const Histogram h = from_samples({big, big, big});
+  EXPECT_EQ(h.mean(), big);
+  // Asymmetric case: exact integer division of the 128-bit sum.
+  const Histogram h2 = from_samples({big, big - 6, big - 3});
+  EXPECT_EQ(h2.mean(), big - 3);
+}
+
 TEST(Histogram, ClearResets) {
   Histogram h = from_samples({7, 9});
   h.clear();

@@ -22,6 +22,7 @@
 #include "src/exp/runner.h"
 #include "src/exp/sweep.h"
 #include "src/obs/sampler.h"
+#include "src/obs/slo.h"
 
 namespace irs::exp {
 namespace {
@@ -50,6 +51,21 @@ RunResult synth(std::uint64_t i) {
   r.sa_acked = 90 + i;
   r.sa_delay_avg = static_cast<sim::Duration>(777 + i);
   r.sampler_digest = 0x9e3779b97f4a7c15ULL * (i + 1);
+  r.trace_dropped = i % 3;  // runs 1, 2 mod 3 carry a truncated-ring flag
+  r.trace_total_recorded = 10000 + i;
+  // A small but fully-populated SLO block so the shard round-trip covers
+  // histogram buckets, windows, and the digest.
+  obs::SloTracker t;
+  const std::size_t cls = t.add_class(
+      "jbb", {/*threshold=*/sim::milliseconds(10), 0.999});
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    t.record(cls, static_cast<sim::Time>(k * sim::milliseconds(2)),
+             static_cast<sim::Duration>(sim::microseconds(300) +
+                                        997 * (k + i) * (k + i)));
+  }
+  t.flush(sim::milliseconds(80));
+  r.slo = t.result();
+  r.slo_digest = r.slo.digest();
   return r;
 }
 

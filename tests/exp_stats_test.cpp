@@ -75,6 +75,83 @@ TEST(StatAccumulator, ConstantStreamHasZeroSpread) {
   EXPECT_EQ(a.percentile(99), 42.5);
 }
 
+TEST(StatAccumulator, SingleSampleIsItsOwnEverything) {
+  exp::StatAccumulator a;
+  a.add(3.25);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.min(), 3.25);
+  EXPECT_EQ(a.max(), 3.25);
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_EQ(a.percentile(p), 3.25) << "p" << p;
+  }
+}
+
+TEST(StatAccumulator, ParetoTailStaysWithinSketchError) {
+  // Heavy-tailed input is where a log-linear sketch could drift: the tail
+  // spans many octaves with few samples each. Pareto(alpha=1.5) via
+  // inverse transform; compare against exact order statistics.
+  sim::Rng rng(99);
+  exp::StatAccumulator a;
+  std::vector<double> vals;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = (static_cast<double>(rng.next_below(1u << 30)) + 0.5) /
+                     static_cast<double>(1u << 30);
+    const double v = std::pow(1.0 - u, -1.0 / 1.5);  // xm = 1
+    vals.push_back(v);
+    a.add(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double rank = p / 100.0 * static_cast<double>(vals.size() - 1);
+    const double exact = vals[static_cast<std::size_t>(rank)];
+    EXPECT_NEAR(a.percentile(p), exact, 0.04 * exact) << "p" << p;
+  }
+  EXPECT_EQ(a.max(), vals.back());
+}
+
+TEST(StatAccumulator, MergeMatchesSerialFeed) {
+  // Chan's parallel combine for the moments plus exact bucket-count folds
+  // for the sketch: merging per-shard accumulators must agree with one
+  // serial accumulator over the union stream.
+  sim::Rng rng(31);
+  std::vector<double> stream;
+  for (int i = 0; i < 30000; ++i) {
+    stream.push_back(rng.next_double() * 1e6 - 2e5);  // mixed-sign values
+  }
+  exp::StatAccumulator serial;
+  for (double v : stream) serial.add(v);
+
+  for (int shards : {2, 5}) {
+    std::vector<exp::StatAccumulator> parts(
+        static_cast<std::size_t>(shards));
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      parts[i % static_cast<std::size_t>(shards)].add(stream[i]);
+    }
+    exp::StatAccumulator merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.min(), serial.min());
+    EXPECT_EQ(merged.max(), serial.max());
+    EXPECT_NEAR(merged.mean(), serial.mean(), 1e-9 * std::abs(serial.mean()));
+    EXPECT_NEAR(merged.stddev(), serial.stddev(), 1e-9 * serial.stddev());
+    // Bucket counts fold exactly, so percentiles are identical.
+    for (double p : {10.0, 50.0, 90.0, 99.0}) {
+      EXPECT_DOUBLE_EQ(merged.percentile(p), serial.percentile(p)) << p;
+    }
+  }
+
+  // Merging into an empty accumulator is a copy; merging empty is a no-op.
+  exp::StatAccumulator empty;
+  exp::StatAccumulator copy;
+  copy.merge(serial);
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), serial.count());
+  EXPECT_DOUBLE_EQ(copy.mean(), serial.mean());
+  EXPECT_DOUBLE_EQ(copy.percentile(50), serial.percentile(50));
+}
+
 exp::RunResult fake_result(sim::Rng* rng, bool finished = true) {
   exp::RunResult r;
   r.finished = finished;

@@ -108,6 +108,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "irs_sweep_merge: %s: %s\n", path.c_str(),
                      e.c_str());
       }
+      if (fold.truncated_traces > 0) {
+        std::fprintf(stderr,
+                     "irs_sweep_merge: warning: %s: %llu run(s) had a "
+                     "truncated trace ring (trace_dropped > 0); their "
+                     "timeline-derived stats are partial\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(fold.truncated_traces));
+      }
       if (!fold.ok()) status |= exp::kMergeBadFile;
     }
     std::cout << exp::sweep_stats_json(stats) << '\n';
@@ -140,6 +148,13 @@ int main(int argc, char** argv) {
   }
   for (const std::string& e : rep.errors) {
     std::fprintf(stderr, "irs_sweep_merge: %s\n", e.c_str());
+  }
+  if (!rep.truncated_trace_runs.empty()) {
+    std::fprintf(stderr,
+                 "irs_sweep_merge: warning: %zu merged run(s) had a "
+                 "truncated trace ring (trace_dropped > 0); their "
+                 "timeline-derived stats are partial\n",
+                 rep.truncated_trace_runs.size());
   }
   if (want_plan) {
     const std::string plan = exp::repair_plan(rep);

@@ -15,6 +15,9 @@
 //   --guest-lanes    add per-vCPU guest task lanes + migration arrows
 //   --counters       add sampler counter tracks ("C" events)
 //   --attribution    print the per-task interference breakdown (stdout)
+//   --slo            add per-window SLO counter tracks (p50/p99/p999 ms +
+//                    error-budget burn) and print the window table (stdout;
+//                    server foregrounds only — specjbb/ab)
 //
 // Writes the timeline JSON to the output path (default trace.json) and
 // prints a one-line summary (records, span, drops) to stderr.
@@ -55,7 +58,7 @@ bool parse_strategy(const std::string& name, core::Strategy* out) {
                "usage: %s [--fg NAME] [--bg NAME] [--strategy NAME] "
                "[--inter N] [--seed N] [--capacity N] [--batch N] "
                "[--summary] [--guest-lanes] [--counters] [--attribution] "
-               "[out.json]\n",
+               "[--slo] [out.json]\n",
                argv0);
   std::exit(2);
 }
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   bool guest_lanes = false;
   bool counters = false;
   bool attribution = false;
+  bool slo = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
       counters = true;
     } else if (arg == "--attribution") {
       attribution = true;
+    } else if (arg == "--slo") {
+      slo = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
   obs::ChromeTraceOptions opt;
   opt.guest_lanes = guest_lanes;
   if (counters) opt.counters = &dump.series;
+  if (slo) opt.slo = &dump.slo;
   out << obs::chrome_trace_json(dump.records, dump.meta, opt);
   out.close();
   if (out.fail()) {
@@ -132,6 +139,33 @@ int main(int argc, char** argv) {
   }
 
   if (print_summary) std::printf("%s\n", exp::result_json(r).c_str());
+  if (slo) {
+    if (dump.slo.empty()) {
+      std::fprintf(stderr,
+                   "note: no SLO data — --slo needs a server foreground "
+                   "(--fg specjbb or --fg ab)\n");
+    } else {
+      for (const obs::SloClassResult& c : dump.slo.classes) {
+        std::printf("slo class %s: threshold %.2fms objective %g — %llu "
+                    "requests, %llu violations\n",
+                    c.name.c_str(), sim::to_ms(c.spec.threshold),
+                    c.spec.objective,
+                    static_cast<unsigned long long>(c.total.count()),
+                    static_cast<unsigned long long>(c.violations()));
+        exp::Table t({"window", "t_start", "count", "viol", "p50", "p99",
+                      "p999", "burn"});
+        for (const obs::SloWindow& win : c.windows) {
+          t.add_row({std::to_string(win.index),
+                     exp::fmt_ms(win.index * dump.slo.window),
+                     std::to_string(win.count), std::to_string(win.violations),
+                     exp::fmt_ms(win.p50), exp::fmt_ms(win.p99),
+                     exp::fmt_ms(win.p999),
+                     exp::fmt_f(obs::burn_rate(win, c.spec), 2)});
+        }
+        t.print(std::cout);
+      }
+    }
+  }
   if (attribution) {
     const obs::AttributionResult a = obs::attribute(dump.records, dump.meta);
     exp::print_attribution(std::cout, a);
