@@ -416,34 +416,46 @@ int main(int argc, char** argv) {
   auto slo_grid = exp::figure_grid("fig08", {/*seeds=*/1, fast});
   const std::size_t kSloRuns = fast ? 4 : 6;
   if (slo_grid.size() > kSloRuns) slo_grid.resize(kSloRuns);
-  auto timed_slo_sweep = [&](sim::Duration slo_window) {
-    auto g = slo_grid;
-    for (auto& c : g) {
-      c.slo_window = slo_window;
-      // Longer serving runs than the figure uses: each arm must be large
-      // enough (~100 ms wall) that a single-digit-percent overhead is
-      // measurable over this machine's run-to-run jitter. The per-request
-      // recording cost is duration-independent, so the ratio is the same —
-      // only the noise floor drops.
-      c.server_duration = sim::seconds(10);
-    }
+  // Longer serving runs than the figure uses: each run must be large
+  // enough (~30 ms wall) that a single-digit-percent overhead is
+  // measurable over this machine's run-to-run jitter. The per-request
+  // recording cost is duration-independent, so the ratio is the same —
+  // only the noise floor drops.
+  auto timed_slo_cell = [&](const exp::ScenarioConfig& cell,
+                            sim::Duration slo_window) {
+    auto c = cell;
+    c.slo_window = slo_window;
+    c.server_duration = sim::seconds(10);
     const auto t0 = std::chrono::steady_clock::now();
-    const auto res = exp::run_sweep(g, /*n_threads=*/1);
-    if (res.size() != g.size()) std::abort();
+    const exp::RunResult r = exp::run_scenario(c);
+    if (!r.finished && r.throughput <= 0) std::abort();
     return wall_seconds(t0);
   };
-  // Same alternating-arm + median-ratio discipline as the traced-sweep
-  // overheads: "off" (raw core::Histogram counters only, slo_window = -1)
-  // vs "on" (windowed SLO recording alongside), back-to-back per rep.
-  double slo_off_sec = 0, slo_on_sec = 0;
-  std::vector<double> r_slo;
-  constexpr int kSloReps = 7;
+  // Per-cell per-arm minima with the arm order alternating — "off" (raw
+  // core::Histogram counters only, slo_window = -1) vs "on" (windowed SLO
+  // recording alongside), back-to-back per cell per rep. The pair keeps
+  // the arms adjacent under drift, the alternation cancels the
+  // second-arm-reads-slower bias of a busy host, and per-cell minima
+  // filter noise at the finest granularity available; the overhead ratio
+  // compares the summed minima.
+  constexpr int kSloReps = 25;
+  std::vector<double> slo_cell_off(slo_grid.size(), 1e18);
+  std::vector<double> slo_cell_on(slo_grid.size(), 1e18);
   for (int rep = 0; rep < kSloReps; ++rep) {
-    const double off = timed_slo_sweep(-1);
-    const double on = timed_slo_sweep(0);
-    if (rep == 0 || off < slo_off_sec) slo_off_sec = off;
-    if (rep == 0 || on < slo_on_sec) slo_on_sec = on;
-    r_slo.push_back(on / off);
+    for (std::size_t i = 0; i < slo_grid.size(); ++i) {
+      const bool on_first = ((rep + static_cast<int>(i)) % 2) != 0;
+      const double first = timed_slo_cell(slo_grid[i], on_first ? 0 : -1);
+      const double second = timed_slo_cell(slo_grid[i], on_first ? -1 : 0);
+      const double off = on_first ? second : first;
+      const double on = on_first ? first : second;
+      if (off < slo_cell_off[i]) slo_cell_off[i] = off;
+      if (on < slo_cell_on[i]) slo_cell_on[i] = on;
+    }
+  }
+  double slo_off_sec = 0, slo_on_sec = 0;
+  for (std::size_t i = 0; i < slo_grid.size(); ++i) {
+    slo_off_sec += slo_cell_off[i];
+    slo_on_sec += slo_cell_on[i];
   }
 
   // Histogram memory at 1e6 recorded latencies vs keeping exact samples
@@ -507,9 +519,96 @@ int main(int argc, char** argv) {
         slo_stats_serial.slo_digest_xor() == slo_stats_merged.slo_digest_xor() &&
         !slo_stats_serial.slo().empty();
   }
-  const double slo_overhead_pct = (median(r_slo) - 1.0) * 100.0;
+  const double slo_overhead_pct = (slo_on_sec / slo_off_sec - 1.0) * 100.0;
   constexpr double kSloOverheadLimitPct = 5.0;
   constexpr double kSloMemoryRatioGate = 10.0;
+
+  // Forensics recording: incremental cost of capturing request spans on
+  // the same serving shape. Both arms run the trace ring and SLO tracking;
+  // the "on" arm adds one ReqSpan append to the workload's side log per
+  // completed request (forensics_analyze=false on both arms keeps the
+  // end-of-run snapshot + analyzer out of the timed region), so the ratio
+  // isolates the always-on capture cost — the only part of forensics that
+  // runs while the simulation serves.
+  std::cerr << "[bench_report] forensics recording overhead (fig08 serving "
+               "shape)...\n";
+  auto forensics_cells = slo_grid;
+  for (auto& c : forensics_cells) {
+    c.slo_window = 0;
+    c.trace_capacity = 1 << 18;
+    c.forensics_analyze = false;
+    c.server_duration = sim::seconds(10);
+  }
+  auto timed_forensics_cell = [&](const exp::ScenarioConfig& cell,
+                                  bool forensics) {
+    auto c = cell;
+    c.forensics = forensics;
+    const auto t0 = std::chrono::steady_clock::now();
+    const exp::RunResult r = exp::run_scenario(c);
+    if (r.slo.empty()) std::abort();
+    return wall_seconds(t0);
+  };
+  // The effect is ~1 ms per ~30 ms run against scheduler noise far larger,
+  // and whichever arm runs second in a pair reads systematically slower on
+  // a busy host. So: time each grid cell individually with the arm order
+  // alternating, keep the per-cell per-arm minimum across reps (filters
+  // noise at the finest granularity the sweep offers), and compare the
+  // summed minima.
+  constexpr int kForensicsReps = 25;
+  std::vector<double> fo_off(forensics_cells.size(), 1e18);
+  std::vector<double> fo_on(forensics_cells.size(), 1e18);
+  for (int rep = 0; rep < kForensicsReps; ++rep) {
+    for (std::size_t i = 0; i < forensics_cells.size(); ++i) {
+      const bool on_first = ((rep + static_cast<int>(i)) % 2) != 0;
+      const double first = timed_forensics_cell(forensics_cells[i], on_first);
+      const double second =
+          timed_forensics_cell(forensics_cells[i], !on_first);
+      const double off = on_first ? second : first;
+      const double on = on_first ? first : second;
+      if (off < fo_off[i]) fo_off[i] = off;
+      if (on < fo_on[i]) fo_on[i] = on;
+    }
+  }
+  double forensics_off_sec = 0, forensics_on_sec = 0;
+  for (std::size_t i = 0; i < forensics_cells.size(); ++i) {
+    forensics_off_sec += fo_off[i];
+    forensics_on_sec += fo_on[i];
+  }
+  const double forensics_overhead_pct =
+      (forensics_on_sec / forensics_off_sec - 1.0) * 100.0;
+  constexpr double kForensicsOverheadLimitPct = 5.0;
+
+  // Forensics analysis: the one-pass decomposition runs once, after the
+  // run (or offline over a dump), so its budget is absolute — ns per
+  // merged trace record — rather than a percentage of simulation time.
+  // The offline re-run must also reproduce the in-run result bit-exactly.
+  std::cerr << "[bench_report] forensics analyzer (one-pass replay)...\n";
+  exp::TraceDump fdump;
+  std::uint64_t forensics_run_digest = 0;
+  {
+    auto c = slo_grid.front();
+    c.slo_window = 0;
+    c.trace_capacity = 1 << 18;
+    c.forensics = true;
+    c.server_duration = sim::seconds(10);
+    const exp::RunResult res = exp::run_scenario(c, &fdump);
+    forensics_run_digest = res.forensics_digest;
+  }
+  double forensics_analyze_sec = 0;
+  bool forensics_replay_identical = true;
+  for (int rep = 0; rep < kSloReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const obs::ForensicsResult f =
+        obs::request_forensics(fdump.records, fdump.meta, fdump.slo);
+    const double sec = wall_seconds(t0);
+    forensics_replay_identical =
+        forensics_replay_identical && f.digest() == forensics_run_digest;
+    if (rep == 0 || sec < forensics_analyze_sec) forensics_analyze_sec = sec;
+  }
+  const double forensics_analyze_ns_per_record =
+      forensics_analyze_sec * 1e9 /
+      static_cast<double>(std::max<std::size_t>(1, fdump.records.size()));
+  constexpr double kForensicsAnalyzeNsPerRecordLimit = 150.0;
 
   // Regression gate on the batched trace hot path, against the previous
   // report at the same output path (if any).
@@ -572,6 +671,15 @@ int main(int argc, char** argv) {
       << "  \"slo_fold_shards\": " << kSloShards << ",\n"
       << "  \"slo_fold_identical\": "
       << (slo_fold_identical ? "true" : "false") << ",\n"
+      << "  \"forensics_sweep_secs_off\": " << forensics_off_sec << ",\n"
+      << "  \"forensics_sweep_secs_on\": " << forensics_on_sec << ",\n"
+      << "  \"forensics_overhead_pct\": " << forensics_overhead_pct << ",\n"
+      << "  \"forensics_records\": " << fdump.records.size() << ",\n"
+      << "  \"forensics_analyze_secs\": " << forensics_analyze_sec << ",\n"
+      << "  \"forensics_analyze_ns_per_record\": "
+      << forensics_analyze_ns_per_record << ",\n"
+      << "  \"forensics_replay_identical\": "
+      << (forensics_replay_identical ? "true" : "false") << ",\n"
       << "  \"sweep_stats\": " << exp::sweep_stats_json(stats) << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
@@ -600,7 +708,14 @@ int main(int argc, char** argv) {
             << slo_memory_bytes / 1024.0 << "KiB for 1e6 samples ("
             << slo_memory_ratio << "x less than exact), fold "
             << (slo_fold_identical ? "bit-identical across " : "DIVERGED at ")
-            << kSloShards << " shards\n";
+            << kSloShards << " shards\n"
+            << "forensics: +" << forensics_overhead_pct
+            << "% recording overhead (on " << forensics_on_sec << "s vs off "
+            << forensics_off_sec << "s); analyzer "
+            << forensics_analyze_ns_per_record << "ns/rec over "
+            << fdump.records.size() << " records, offline replay "
+            << (forensics_replay_identical ? "bit-identical" : "DIVERGED!")
+            << "\n";
   if (out.fail()) {
     std::cerr << "error: could not write " << out_path << "\n";
     return 2;
@@ -666,6 +781,33 @@ int main(int argc, char** argv) {
   if (!slo_fold_identical) {
     std::cerr << "FAIL: SLO blocks did not fold bit-identically across "
               << kSloShards << " NDJSON shards vs the serial sweep\n";
+    return 1;
+  }
+  // Per-request forensics recording must stay within 5% of the trace+SLO
+  // cost on the serving shape: capture is one 24-byte side-log append per
+  // completed request, nothing on the trace ring — anything above noise
+  // means per-request work leaked back into the simulation hot path.
+  if (forensics_overhead_pct >= kForensicsOverheadLimitPct) {
+    std::cerr << "FAIL: forensics recording overhead "
+              << forensics_overhead_pct << "% exceeds the "
+              << kForensicsOverheadLimitPct << "% gate (on "
+              << forensics_on_sec << "s vs off " << forensics_off_sec
+              << "s)\n";
+    return 1;
+  }
+  // The analyzer itself is a single linear replay with flat per-vCPU/task
+  // state; its budget is absolute per merged record so the gate does not
+  // depend on how long the simulated run was.
+  if (forensics_analyze_ns_per_record >= kForensicsAnalyzeNsPerRecordLimit) {
+    std::cerr << "FAIL: forensics analyzer " << forensics_analyze_ns_per_record
+              << "ns/record exceeds the " << kForensicsAnalyzeNsPerRecordLimit
+              << "ns/record gate (" << forensics_analyze_sec << "s over "
+              << fdump.records.size() << " records)\n";
+    return 1;
+  }
+  if (!forensics_replay_identical) {
+    std::cerr << "FAIL: offline forensics replay diverged from the in-run "
+              << "decomposition (digest mismatch)\n";
     return 1;
   }
   return bit_identical ? 0 : 1;

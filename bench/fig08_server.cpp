@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/obs/forensics.h"
 #include "src/obs/slo.h"
 
 int main() {
@@ -99,5 +100,77 @@ int main() {
     }
   }
   slo.print(std::cout);
+
+  // Why did p999 move? Per-request causal forensics on one fixed-seed run
+  // per (workload, strategy) at the heaviest interference level: the
+  // per-cause share of total request latency. The specjbb-spin row cranks
+  // the critical section to a 300 µs ticket spinlock every transaction —
+  // the kernel-spinlock shape where Baseline's violating tail is dominated
+  // by lock-holder/waiter preemption and IRS converts that stall time back
+  // into plain run/ready-wait (the default blocking-mutex rows show the
+  // milder steal/throttle story instead). These are separate single runs
+  // (forensics needs the trace ring), not part of the registry grid above.
+  exp::banner(std::cout,
+              "Figure 8(d): why did p999 move (latency share by cause, "
+              "4 hogs, seed 1)");
+  std::vector<std::string> fheads = {"workload", "strategy", "spans",
+                                     "viol wins", "top cause"};
+  for (int i = 0; i < obs::kNumCauses; ++i) {
+    fheads.push_back(obs::cause_name(static_cast<obs::Cause>(i)));
+  }
+  exp::Table why(std::move(fheads));
+  std::vector<std::string> fapps(apps.begin(), apps.end());
+  fapps.push_back("specjbb-spin");
+  for (const auto& app : fapps) {
+    const bool spin = app == "specjbb-spin";
+    for (const bool is_irs : {false, true}) {
+      bench::PanelOptions o;
+      exp::ScenarioConfig cfg = bench::make_cfg(
+          spin ? "specjbb" : app,
+          is_irs ? core::Strategy::kIrs : core::Strategy::kBaseline, 4, o);
+      cfg.server_duration = sim::seconds(1);
+      cfg.forensics = true;
+      if (spin) {
+        cfg.jbb_cs_len = sim::microseconds(300);
+        cfg.jbb_cs_every = 1;
+        cfg.jbb_cs_spin = true;
+      }
+      const exp::RunResult r = exp::run_scenario(cfg);
+      if (r.forensics.empty()) continue;
+      const obs::ForensicsClassResult& c = r.forensics.classes.front();
+      std::int64_t grand = 0;
+      for (int i = 0; i < obs::kNumCauses; ++i) {
+        grand += c.cause_total(static_cast<obs::Cause>(i));
+      }
+      // Dominant cause over the violating windows only — the tail story.
+      sim::Duration win_causes[obs::kNumCauses] = {};
+      for (const obs::ForensicsWindow& win : c.windows) {
+        for (int i = 0; i < obs::kNumCauses; ++i) {
+          win_causes[i] += win.causes[i];
+        }
+      }
+      int top = 0;
+      for (int i = 1; i < obs::kNumCauses; ++i) {
+        if (win_causes[i] > win_causes[top]) top = i;
+      }
+      std::vector<std::string> row = {
+          app, is_irs ? "IRS" : "Baseline", std::to_string(c.spans),
+          std::to_string(c.windows.size()),
+          c.windows.empty() ? "-"
+                            : obs::cause_name(static_cast<obs::Cause>(top))};
+      for (int i = 0; i < obs::kNumCauses; ++i) {
+        const double share =
+            grand > 0
+                ? 100.0 *
+                      static_cast<double>(
+                          c.cause_total(static_cast<obs::Cause>(i))) /
+                      static_cast<double>(grand)
+                : 0.0;
+        row.push_back(exp::fmt_f(share, 1) + "%");
+      }
+      why.add_row(std::move(row));
+    }
+  }
+  why.print(std::cout);
   return 0;
 }

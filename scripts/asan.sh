@@ -5,8 +5,11 @@
 # pointers between staging buffers, the shared ring, and exporters),
 # engine_queue_asan (wheel buckets / due list / compaction move raw
 # 24-byte entries), and engine_batch_asan (pop_batch scratch copies,
-# half-consumed tail re-pushes, calendar bulk migration) — exactly the
-# kind of ownership bug ASan catches and TSan does not.
+# half-consumed tail re-pushes, calendar bulk migration), and
+# forensics_asan (the request-forensics replay indexes flat per-vCPU/task
+# state by trace ids and reads half-open spans after ring wrap, fuzzed
+# over randomized ring capacities) — exactly the kind of ownership bug
+# ASan catches and TSan does not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -12,6 +12,12 @@ cmake --build build -j
 # byte-identical to the single-process sweep.
 scripts/shard_roundtrip.sh
 
+# Forensics smoke: one traced serving run end-to-end through the
+# per-request causal decomposition — the cause table, the violating-window
+# root-cause rows, and the CSV renderer must all produce output.
+./build/tools/irs_trace_dump --fg specjbb --strategy Xen \
+    --forensics --csv > /dev/null
+
 # Engine deep-queue bench smoke: every EventQueue backend variant (binary,
 # quad, wheel x tight/timer shapes, batching off/on) must run clean. The
 # old-vs-new ratios the perf trajectory tracks are recorded in

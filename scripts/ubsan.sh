@@ -6,7 +6,9 @@
 # (the SLO histogram's bucket-index shifts, 128-bit sums, FNV digest
 # mixing, and StatAccumulator moment folds — the arithmetic-heaviest code
 # in the repo, where signed overflow or an out-of-range shift would
-# otherwise hide behind whatever the optimiser happened to emit).
+# otherwise hide behind whatever the optimiser happened to emit), and
+# forensics_ubsan (segment arithmetic over trace timestamps and the
+# 128-bit per-cause sums behind the exact-sum contract).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

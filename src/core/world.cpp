@@ -4,7 +4,7 @@
 
 namespace irs::core {
 
-World::World(WorldConfig cfg) : cfg_(cfg) {
+World::World(WorldConfig cfg) : cfg_(cfg), eng_(cfg_.queue) {
   host_ = std::make_unique<hv::Host>(eng_, cfg_.hv, cfg_.n_pcpus);
   if (cfg_.trace_capacity > 0) {
     host_->trace().set_capacity(cfg_.trace_capacity);

@@ -34,6 +34,10 @@ struct WorldConfig {
   sim::Duration sample_period = 0;
   /// >0 overrides obs::Sampler::kDefaultCapacity per series ring.
   std::size_t sample_capacity = 0;
+  /// Event-queue backend for the engine. Defaults to the process-wide
+  /// default (IRS_ENGINE_QUEUE or the hybrid wheel); tests override it to
+  /// prove results are backend-independent within one process.
+  sim::QueueKind queue = sim::default_queue_kind();
 };
 
 class World {
@@ -96,7 +100,7 @@ class World {
   void arm_sampler();
 
   WorldConfig cfg_;
-  sim::Engine eng_;
+  sim::Engine eng_;  // constructed from cfg_.queue (declaration order holds)
   std::unique_ptr<hv::Host> host_;
   std::unique_ptr<obs::Sampler> sampler_;
   std::vector<Slot> slots_;

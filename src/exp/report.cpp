@@ -42,6 +42,30 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void Table::print_csv(std::ostream& os) const {
+  auto put_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  auto put_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ',';
+      put_cell(c < row.size() ? row[c] : "");
+    }
+    os << '\n';
+  };
+  put_row(headers_);
+  for (const auto& row : rows_) put_row(row);
+}
+
 std::string fmt_pct(double pct) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
@@ -92,6 +116,11 @@ void result_json_fields(obs::JsonWriter& w, const RunResult& r) {
   if (!r.slo.empty()) {
     w.key("slo");
     obs::slo_result_json(w, r.slo);
+  }
+  w.field("forensics_digest", r.forensics_digest);
+  if (!r.forensics.empty()) {
+    w.key("forensics");
+    obs::forensics_json(w, r.forensics);
   }
 }
 
@@ -182,6 +211,15 @@ bool result_from_value(const obs::JsonValue& v, RunResult* r,
   if (!read_field(v, "slo_digest", &out.slo_digest, err)) return false;
   if (const obs::JsonValue* slo = v.find("slo")) {
     if (!obs::slo_result_from_value(*slo, &out.slo, err)) return false;
+  }
+  // Absent in pre-forensics captures: default to 0/empty so old NDJSON
+  // shards stay parseable.
+  if (v.find("forensics_digest") != nullptr &&
+      !read_field(v, "forensics_digest", &out.forensics_digest, err)) {
+    return false;
+  }
+  if (const obs::JsonValue* fz = v.find("forensics")) {
+    if (!obs::forensics_from_value(*fz, &out.forensics, err)) return false;
   }
   *r = out;
   return true;

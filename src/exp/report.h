@@ -22,6 +22,9 @@ class Table {
 
   void add_row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV: header row then data rows; cells containing a comma,
+  /// quote, or newline are double-quoted with quotes doubled.
+  void print_csv(std::ostream& os) const;
 
  private:
   std::vector<std::string> headers_;

@@ -31,7 +31,9 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.sampler_digest == b.sampler_digest &&
          a.trace_dropped == b.trace_dropped &&
          a.trace_total_recorded == b.trace_total_recorded &&
-         a.slo == b.slo && a.slo_digest == b.slo_digest;
+         a.slo == b.slo && a.slo_digest == b.slo_digest &&
+         a.forensics == b.forensics &&
+         a.forensics_digest == b.forensics_digest;
 }
 
 RunResult run_scenario(const ScenarioConfig& cfg) {
@@ -48,7 +50,12 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   wc.trace_batch = cfg.trace_batch;
   wc.sample_period = cfg.sample_period;
   wc.sample_capacity = cfg.sample_capacity;
+  wc.queue = cfg.queue;
   if (dump != nullptr && wc.trace_capacity == 0) wc.trace_capacity = 1 << 16;
+  // Forensics replays the scheduler trace around every request span, so it
+  // needs the ring on — and roomy, so the scheduler evidence around early
+  // spans survives to analysis (spans themselves live in a side log).
+  if (cfg.forensics && wc.trace_capacity == 0) wc.trace_capacity = 1 << 18;
   if (dump != nullptr && wc.sample_period == 0) {
     wc.sample_period = obs::Sampler::kDefaultPeriod;
   }
@@ -66,6 +73,9 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   fg_opts.npb_spinning = cfg.npb_spinning;
   fg_opts.work_scale = cfg.work_scale;
   fg_opts.server_duration = cfg.server_duration;
+  fg_opts.jbb_cs_len = cfg.jbb_cs_len;
+  fg_opts.jbb_cs_every = cfg.jbb_cs_every;
+  fg_opts.jbb_cs_spin = cfg.jbb_cs_spin;
   wl::Workload& fg_wl = world.attach(fg, wl::make_workload(cfg.fg, fg_opts));
 
   // Windowed SLO tracking (server workloads; passive, so the simulation is
@@ -77,6 +87,13 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
       jbb->enable_slo(w);
     } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
       ab->enable_slo(w);
+    }
+  }
+  if (cfg.forensics) {
+    if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
+      jbb->enable_request_spans();
+    } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
+      ab->enable_request_spans();
     }
   }
 
@@ -151,33 +168,58 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
     r.trace_total_recorded = trace.total_recorded();
   }
 
-  if (dump != nullptr) {
+  if (dump != nullptr || (cfg.forensics && cfg.forensics_analyze)) {
     sim::Trace& trace = world.host().trace();
-    dump->records = trace.snapshot();  // flushes all staging buffers
-    dump->meta = obs::TraceMeta{};
-    dump->meta.title = cfg.fg + (cfg.bg.empty() ? "" : "+" + cfg.bg) + " [" +
-                       core::strategy_name(cfg.strategy) + "]";
-    dump->meta.n_pcpus = cfg.n_pcpus;
+    std::vector<sim::TraceRecord> records =
+        trace.snapshot();  // flushes all staging buffers
+    obs::TraceMeta meta;
+    meta.title = cfg.fg + (cfg.bg.empty() ? "" : "+" + cfg.bg) + " [" +
+                 core::strategy_name(cfg.strategy) + "]";
+    meta.n_pcpus = cfg.n_pcpus;
     for (int vm_i = 0; vm_i < world.host().n_vms(); ++vm_i) {
       const hv::Vm& vm = world.host().vm(vm_i);
       int idx = 0;
       for (const hv::Vcpu* v : vm.vcpus()) {
-        dump->meta.vcpus.push_back(obs::VcpuInfo{v->id(), vm.name(), idx++});
+        meta.vcpus.push_back(obs::VcpuInfo{v->id(), vm.name(), idx++});
       }
       guest::GuestKernel& k = world.kernel(vm_i);
       for (std::size_t t = 0; t < k.n_tasks(); ++t) {
-        dump->meta.tasks.push_back(
+        meta.tasks.push_back(
             obs::TaskInfo{k.task(t).id(), vm.name(), k.task(t).name()});
       }
     }
-    dump->meta.start = world.started_at();
-    dump->meta.end = world.engine().now();
-    dump->meta.dropped = trace.dropped();
-    dump->meta.total_recorded = trace.total_recorded();
-    if (obs::Sampler* smp = world.sampler()) {
-      dump->series = smp->dump();
+    meta.start = world.started_at();
+    meta.end = world.engine().now();
+    meta.dropped = trace.dropped();
+    meta.total_recorded = trace.total_recorded();
+    if (cfg.forensics) {
+      // Request spans were captured in the workload's side log, not the
+      // ring; synthesize their kReqBegin/kReqEnd records into the snapshot
+      // so the analyzer and the exporters see one interleaved stream.
+      const std::vector<obs::ReqSpan>* spans = nullptr;
+      if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
+        spans = &jbb->request_spans();
+      } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
+        spans = &ab->request_spans();
+      }
+      if (spans != nullptr && !spans->empty()) {
+        records =
+            obs::with_request_spans(records, *spans, meta.total_recorded);
+      }
     }
-    dump->slo = r.slo;
+    if (cfg.forensics && cfg.forensics_analyze) {
+      r.forensics = obs::request_forensics(records, meta, r.slo);
+      r.forensics_digest = r.forensics.digest();
+    }
+    if (dump != nullptr) {
+      dump->records = std::move(records);
+      dump->meta = std::move(meta);
+      if (obs::Sampler* smp = world.sampler()) {
+        dump->series = smp->dump();
+      }
+      dump->slo = r.slo;
+      dump->forensics = r.forensics;
+    }
   }
   return r;
 }

@@ -10,6 +10,7 @@
 #include "src/core/strategy.h"
 #include "src/core/world.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/forensics.h"
 #include "src/obs/slo.h"
 
 namespace irs::exp {
@@ -41,6 +42,21 @@ struct ScenarioConfig {
   sim::Duration timeout = sim::seconds(150);
   std::uint64_t seed = 1;
 
+  /// SPECjbb lock-contention knobs (0 = the model's defaults): critical
+  /// section length and "every Nth transaction takes the lock". Cranking
+  /// these — and flipping `jbb_cs_spin` so the section takes a ticket
+  /// spinlock whose waiters burn CPU instead of yielding their vCPU —
+  /// makes lock-holder/waiter preemption the dominant interference
+  /// channel — how the forensics tests reproduce the paper's LHP story on
+  /// a small fixture.
+  sim::Duration jbb_cs_len = 0;
+  int jbb_cs_every = 0;
+  bool jbb_cs_spin = false;
+
+  /// Event-queue backend override (see WorldConfig::queue); defaults to
+  /// the process-wide default. Results must be backend-independent.
+  sim::QueueKind queue = sim::default_queue_kind();
+
   /// Guest kernel tunables for the foreground VM (ablation knobs; the IRS
   /// enable flag is controlled by `strategy`, not here).
   guest::GuestConfig fg_guest{};
@@ -61,6 +77,19 @@ struct ScenarioConfig {
   /// (the bench overhead gate's "raw counters only" arm). Tracking is
   /// passive — every other result field is bit-identical either way.
   sim::Duration slo_window = 0;
+  /// Per-request causal forensics for server workloads (jbb/ab): captures
+  /// a ReqSpan per transaction into a side log (the runner synthesizes
+  /// kReqBegin/kReqEnd records from it at analysis time) and decomposes
+  /// each request's latency by cause (see obs/forensics.h). Enables the
+  /// trace ring if trace_capacity is 0 (at a generous default). Passive:
+  /// only the trace-telemetry and forensics fields of the result change.
+  bool forensics = false;
+  /// With forensics on, run the decomposition at the end of the run
+  /// (ring snapshot + one-pass analyzer). false records the request
+  /// brackets but leaves RunResult::forensics empty — how bench_report
+  /// times the always-on recording cost separately from the explicit
+  /// analysis pass.
+  bool forensics_analyze = true;
 };
 
 /// Metrics extracted from one run.
@@ -94,6 +123,10 @@ struct RunResult {
   /// sampler_digest, and the merge's bucket-exactness sentinel.
   obs::SloResult slo;
   std::uint64_t slo_digest = 0;
+  /// Per-request causal decomposition (empty unless cfg.forensics) and its
+  /// digest — folded through sweeps exactly like the SLO capture.
+  obs::ForensicsResult forensics;
+  std::uint64_t forensics_digest = 0;
 };
 
 /// A run's trace, captured for export: the snapshot (time-ordered, flushed)
@@ -105,6 +138,8 @@ struct TraceDump {
   std::vector<obs::SeriesData> series;
   /// Windowed SLO capture (empty for non-server workloads).
   obs::SloResult slo;
+  /// Per-request causal decomposition (empty unless cfg.forensics).
+  obs::ForensicsResult forensics;
 };
 
 /// Exact equality over every RunResult field (doubles compared bitwise via

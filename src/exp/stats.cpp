@@ -153,6 +153,8 @@ void SweepStats::add(const RunResult& r) {
   for (std::size_t i = 0; i < kNMetrics; ++i) acc_[i].add(kMetrics[i].get(r));
   slo_digest_xor_ ^= r.slo_digest;
   fold_slo(slo_, r.slo);
+  forensics_digest_xor_ ^= r.forensics_digest;
+  obs::fold_forensics(forensics_, r.forensics);
 }
 
 void fold_slo(obs::SloResult& acc, const obs::SloResult& r) {
@@ -250,6 +252,34 @@ std::string sweep_stats_json(const SweepStats& s) {
       w.field("max_ns", static_cast<std::int64_t>(c.total.max()));
       w.field("windows", c.windows.size());
       w.field("hist_digest", c.total.digest());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  if (!s.forensics().empty()) {
+    const obs::ForensicsResult& fz = s.forensics();
+    w.key("forensics");
+    w.begin_object();
+    w.field("digest_xor", s.forensics_digest_xor());
+    w.field("window_ns", static_cast<std::int64_t>(fz.window));
+    w.key("classes");
+    w.begin_array();
+    for (const obs::ForensicsClassResult& c : fz.classes) {
+      w.begin_object();
+      w.field("name", c.name);
+      w.field("spans", c.spans);
+      w.field("truncated", c.truncated);
+      w.field("open", c.open);
+      w.field("violating_windows", c.windows.size());
+      w.key("cause_totals_ns");
+      w.begin_object();
+      for (int i = 0; i < obs::kNumCauses; ++i) {
+        w.field(obs::cause_name(static_cast<obs::Cause>(i)),
+                static_cast<std::int64_t>(
+                    c.cause_total(static_cast<obs::Cause>(i))));
+      }
+      w.end_object();
       w.end_object();
     }
     w.end_array();

@@ -98,12 +98,25 @@ class SweepStats {
     return slo_digest_xor_;
   }
 
+  /// Sweep-wide forensics fold: per-cause histograms merged exactly across
+  /// every run seen (see obs::fold_forensics). Empty when no run carried a
+  /// forensics block.
+  [[nodiscard]] const obs::ForensicsResult& forensics() const {
+    return forensics_;
+  }
+  /// XOR of every run's forensics_digest (see slo_digest_xor).
+  [[nodiscard]] std::uint64_t forensics_digest_xor() const {
+    return forensics_digest_xor_;
+  }
+
  private:
   std::uint64_t runs_ = 0;
   std::uint64_t finished_ = 0;
   std::vector<StatAccumulator> acc_;
   obs::SloResult slo_;
   std::uint64_t slo_digest_xor_ = 0;
+  obs::ForensicsResult forensics_;
+  std::uint64_t forensics_digest_xor_ = 0;
 };
 
 /// Fold one run's SLO capture into `acc`: classes match by name, totals

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <limits>
 
 namespace irs::guest {
@@ -212,8 +213,13 @@ void GuestKernel::note_migration(Task& t, int from, int to, obs::Cnt ctr) {
   } else {
     t.migrating_tag = false;  // a regular balancer move retires the tag
   }
+  // Carry the charged cache penalty (ns) in the note so forensics can
+  // attribute the post-migration transient without re-deriving the model.
+  char penalty[sim::TraceNote::kMax + 1];
+  std::snprintf(penalty, sizeof penalty, "%lld",
+                static_cast<long long>(migration_penalty()));
   tbuf_.record(eng_.now(), sim::TraceKind::kMigrate, t.id(), trace_gcpu(to),
-               "", trace_gcpu(from));
+               penalty, trace_gcpu(from));
 }
 
 void GuestKernel::kick_if_blocked(int c) {

@@ -163,7 +163,10 @@ void CreditScheduler::deschedule_current(Pcpu& p, StopReason reason) {
   p.set_current(nullptr);
   p.slice_timer.cancel();
   p.enqueue(cur);
-  tbuf_.record(eng_.now(), sim::TraceKind::kHvPreempt, cur->id(), p.id());
+  // OVER means the vCPU burned through its credit share: the deschedule is
+  // a credit throttle, not generic contention — forensics separates the two.
+  tbuf_.record(eng_.now(), sim::TraceKind::kHvPreempt, cur->id(), p.id(),
+               cur->prio() == CreditPrio::kOver ? "throttle" : "");
 }
 
 void CreditScheduler::notify_stopped(Vcpu& v, StopReason reason) {

@@ -1,7 +1,9 @@
 #include "src/obs/chrome_trace.h"
 
 #include <map>
+#include <set>
 
+#include "src/obs/forensics.h"
 #include "src/obs/json.h"
 
 namespace irs::obs {
@@ -12,6 +14,7 @@ constexpr int kPidPcpus = 0;
 constexpr int kPidVcpus = 1;
 constexpr int kPidGuest = 2;
 constexpr int kPidCounters = 3;
+constexpr int kPidRequests = 4;
 
 std::string vcpu_label(const TraceMeta& meta, int vcpu) {
   for (const auto& v : meta.vcpus) {
@@ -36,6 +39,15 @@ std::string task_label(const TraceMeta& meta, int vcpu, std::int32_t task) {
     if (t.id == task && t.vm == *vm) return *vm + "/" + t.name;
   }
   return *vm + "/task" + std::to_string(task);
+}
+
+/// Lane label for a request-emitting task. Request records carry no VM, but
+/// only the serving workload emits them, so the first id match is the one.
+std::string req_task_label(const TraceMeta& meta, std::int32_t task) {
+  for (const auto& t : meta.tasks) {
+    if (t.id == task) return t.vm + "/" + t.name;
+  }
+  return "task" + std::to_string(task);
 }
 
 void meta_event(JsonWriter& w, const char* name, int pid, int tid,
@@ -153,8 +165,12 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
       meta_event(w, "thread_name", kPidGuest, v.id, vcpu_label(meta, v.id));
     }
   }
+  if (opt.request_lanes) {
+    meta_event(w, "process_name", kPidRequests, 0, "requests");
+  }
   if ((opt.counters != nullptr && !opt.counters->empty()) ||
-      (opt.slo != nullptr && !opt.slo->empty())) {
+      (opt.slo != nullptr && !opt.slo->empty()) ||
+      (opt.forensics != nullptr && !opt.forensics->empty())) {
     meta_event(w, "process_name", kPidCounters, 0, "counters");
   }
 
@@ -184,7 +200,17 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
   std::map<int, std::uint64_t> pending_sa;
   // Guest lanes: vCPU id -> (task, on-vcpu-since) for the open task span.
   std::map<int, std::pair<std::int32_t, sim::Time>> on_vcpu;
+  // Request lanes: req id -> (task, begin time) for spans still in flight,
+  // plus the set of tasks that already have a lane label.
+  std::map<std::int32_t, std::pair<std::int32_t, sim::Time>> open_req;
+  std::set<std::int32_t> req_lanes_named;
   std::uint64_t next_flow_id = 1;
+
+  auto name_req_lane = [&](std::int32_t task) {
+    if (!req_lanes_named.insert(task).second) return;
+    meta_event(w, "thread_name", kPidRequests, task,
+               req_task_label(meta, task));
+  };
 
   auto close_guest_span = [&](int vcpu, std::int32_t task, sim::Time start,
                               sim::Time end) {
@@ -250,6 +276,22 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
         if (r.b >= 0) on_vcpu[r.a] = {r.b, r.when};
         break;
       }
+      case sim::TraceKind::kReqBegin: {
+        if (!opt.request_lanes) break;
+        // a = request id, b = SLO class, c = serving task.
+        name_req_lane(r.c);
+        open_req[r.a] = {r.c, r.when};
+        break;
+      }
+      case sim::TraceKind::kReqEnd: {
+        if (!opt.request_lanes) break;
+        auto it = open_req.find(r.a);
+        if (it == open_req.end()) break;  // begin dropped by ring wrap
+        span_event(w, "req " + std::to_string(r.a), kPidRequests,
+                   it->second.first, it->second.second, r.when);
+        open_req.erase(it);
+        break;
+      }
       case sim::TraceKind::kMigrate: {
         if (!opt.guest_lanes) break;
         // a = task, b = destination vCPU, c = source vCPU.
@@ -274,6 +316,10 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
   for (const auto& [vcpu, span] : on_vcpu) {
     close_guest_span(vcpu, span.first, span.second, meta.end);
   }
+  for (const auto& [req, span] : open_req) {
+    span_event(w, "req " + std::to_string(req) + " (open)", kPidRequests,
+               span.first, span.second, meta.end);
+  }
 
   if (opt.counters != nullptr) {
     for (const auto& s : *opt.counters) {
@@ -296,6 +342,23 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
                         sim::to_ms(win.p999));
         counter_event_f(w, "slo:" + c.name + ":burn", at,
                         burn_rate(win, c.spec));
+      }
+    }
+  }
+
+  if (opt.forensics != nullptr && !opt.forensics->empty()) {
+    // One step track per (class, cause): the ms of latency charged to that
+    // cause inside each SLO-violating window. Every cause is stepped at
+    // every violating window (including zeros) so the hold-until-next-sample
+    // rendering never carries a stale value into a later window.
+    for (const auto& c : opt.forensics->classes) {
+      for (const ForensicsWindow& win : c.windows) {
+        const sim::Time at = win.index * opt.forensics->window;
+        for (int i = 0; i < kNumCauses; ++i) {
+          counter_event_f(
+              w, "why:" + c.name + ":" + cause_name(static_cast<Cause>(i)),
+              at, sim::to_ms(win.causes[i]));
+        }
       }
     }
   }

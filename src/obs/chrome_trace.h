@@ -62,6 +62,13 @@ struct ChromeTraceOptions {
   /// ("slo:<class>:p50/p99/p999" in ms and "slo:<class>:burn", the
   /// error-budget burn rate), stepped at window starts.
   const SloResult* slo = nullptr;
+  /// Render a "requests" process with one lane per serving task, each
+  /// kReqBegin/kReqEnd pair a complete span (folded by request id).
+  bool request_lanes = false;
+  /// When set, each violating window renders per-cause counter tracks
+  /// ("why:<class>:<cause>" in ms of latency charged), stepped at window
+  /// starts — the "why did p999 move" overlay for the SLO tracks above.
+  const struct ForensicsResult* forensics = nullptr;
 };
 
 /// Records must be in snapshot order (sorted by (when, seq)).

@@ -1,6 +1,7 @@
 #include "src/sim/trace.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace irs::sim {
@@ -22,9 +23,23 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kCoStop: return "hv.co-stop";
     case TraceKind::kEngineStop: return "engine.stop";
     case TraceKind::kQueueGeometry: return "engine.geometry";
+    case TraceKind::kReqBegin: return "req.begin";
+    case TraceKind::kReqEnd: return "req.end";
     case TraceKind::kUser: return "user";
   }
   return "?";
+}
+
+bool trace_kind_from_name(const char* name, TraceKind* out) {
+  if (name == nullptr) return false;
+  for (int i = 0; i < kNumTraceKinds; ++i) {
+    const auto k = static_cast<TraceKind>(i);
+    if (std::strcmp(trace_kind_name(k), name) == 0) {
+      if (out != nullptr) *out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 void Trace::set_capacity(std::size_t capacity) {

@@ -35,10 +35,22 @@ enum class TraceKind : std::uint8_t {
   kCoStop,        // relaxed-co stopped a leading vCPU
   kEngineStop,    // engine stopped dispatching (event budget exhausted)
   kQueueGeometry, // event-queue backend retuned its wheel geometry
+  kReqBegin,      // request began (a=req id, b=SLO class, c=task;
+                  //   synthesized from the workload span log at analysis
+                  //   time — never recorded into the ring at runtime)
+  kReqEnd,        // request completed (same payload and provenance)
   kUser,          // free-form
 };
 
+/// One past the last enumerator — lets tests iterate every kind.
+inline constexpr int kNumTraceKinds = static_cast<int>(TraceKind::kUser) + 1;
+
 const char* trace_kind_name(TraceKind k);
+
+/// Inverse of trace_kind_name. Returns false for unknown names (including
+/// the "?" placeholder), so exporter names can never silently desync from
+/// the enum.
+bool trace_kind_from_name(const char* name, TraceKind* out);
 
 /// Owned small-string annotation. TraceRecord used to hold a `const char*`,
 /// which dangled whenever a producer passed anything but a string literal;

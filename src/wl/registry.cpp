@@ -50,8 +50,10 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
         opts.n_threads, opts.endless);
   }
   if (name == "specjbb") {
-    return std::make_unique<JbbWorkload>(opts.n_threads,
-                                         opts.server_duration);
+    return std::make_unique<JbbWorkload>(
+        opts.n_threads, opts.server_duration, sim::microseconds(400),
+        opts.jbb_cs_len > 0 ? opts.jbb_cs_len : sim::microseconds(80),
+        opts.jbb_cs_every > 0 ? opts.jbb_cs_every : 2, opts.jbb_cs_spin);
   }
   if (name == "ab") {
     // ab's connection count is independent of vCPUs; the paper uses 512.

@@ -20,6 +20,14 @@ struct WorkloadOptions {
   double work_scale = 1.0;
   /// Server workloads: how long to serve.
   sim::Duration server_duration = sim::seconds(3);
+  /// SPECjbb lock-contention overrides (0 = model defaults): critical
+  /// section length, and take the lock every Nth transaction.
+  sim::Duration jbb_cs_len = 0;
+  int jbb_cs_every = 0;
+  /// Take the critical section under a ticket spinlock (waiters spin
+  /// on-CPU) instead of the blocking mutex — the shape that reproduces the
+  /// paper's lock-holder/waiter preemption pathology.
+  bool jbb_cs_spin = false;
 };
 
 /// Create a workload by name. Accepts every PARSEC name, every NPB name

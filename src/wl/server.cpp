@@ -19,6 +19,9 @@ guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
       case 1:  // main compute done; occasionally touch the shared structure
         if (shape_.cs_every > 0 && ++txn_count_ % shape_.cs_every == 0) {
           step_ = 2;
+          if (shape_.spin != nullptr) {
+            return guest::Action::spin_lock(*shape_.spin);
+          }
           return guest::Action::lock(*shape_.mutex);
         }
         step_ = 4;
@@ -28,9 +31,17 @@ guest::Action JbbWorkerBehavior::next(guest::Task& t, sim::Time now,
         return guest::Action::compute(rng.jittered(shape_.cs_len, 0.3));
       case 3:
         step_ = 4;
+        if (shape_.spin != nullptr) {
+          return guest::Action::spin_unlock(*shape_.spin);
+        }
         return guest::Action::unlock(*shape_.mutex);
       case 4:  // transaction complete
         shape_.latency->add(now - txn_start_);
+        if (shape_.span_log != nullptr) {
+          shape_.span_log->push_back(obs::ReqSpan{
+              txn_start_, now, shape_.next_req++,
+              static_cast<std::int32_t>(shape_.slo_class), t.id()});
+        }
         if (shape_.slo != nullptr) {
           shape_.slo->record(shape_.slo_class, now, now - txn_start_);
         }
@@ -67,6 +78,14 @@ guest::Action AbWorkerBehavior::next(guest::Task& t, sim::Time now,
             rng.jittered(shape_.service_mean, 0.5));
       case 2:  // response sent
         shape_.latency->add(now - arrival_);
+        if (shape_.span_log != nullptr) {
+          // The span begin is back-dated to the arrival instant
+          // (mid-sleep): it must cover the wake + ready-wait the latency
+          // metric charges.
+          shape_.span_log->push_back(obs::ReqSpan{
+              arrival_, now, shape_.next_req++,
+              static_cast<std::int32_t>(shape_.slo_class), t.id()});
+        }
         if (shape_.slo != nullptr) {
           shape_.slo->record(shape_.slo_class, now, now - arrival_);
         }
@@ -86,13 +105,18 @@ guest::Action AbWorkerBehavior::next(guest::Task& t, sim::Time now,
 // ---------------------------------------------------------------------------
 
 JbbWorkload::JbbWorkload(int warehouses, sim::Duration run_for,
-                         sim::Duration txn_mean)
+                         sim::Duration txn_mean, sim::Duration cs_len,
+                         int cs_every, bool cs_spin)
     : Workload("specjbb"),
       warehouses_(warehouses),
       run_for_(run_for),
-      txn_mean_(txn_mean) {}
+      txn_mean_(txn_mean),
+      cs_len_(cs_len),
+      cs_every_(cs_every),
+      cs_spin_(cs_spin) {}
 
 void JbbWorkload::instantiate(guest::GuestKernel& k) {
+  kernel_ = &k;
   sync_ = std::make_unique<sync::SyncContext>(k);
   k.set_memory_intensity(1.0);
   shape_ = std::make_unique<ServerShape>();
@@ -101,15 +125,20 @@ void JbbWorkload::instantiate(guest::GuestKernel& k) {
   // SPECjbb transactions touch shared warehouse structures under a lock
   // often enough that a lock-holder freeze stalls every warehouse — the
   // effect behind the paper's 46% latency improvement.
-  shape_->cs_len = sim::microseconds(80);
-  shape_->cs_every = 2;
+  shape_->cs_len = cs_len_;
+  shape_->cs_every = cs_every_;
   shape_->mutex = &sync_->make_mutex("jbb.shared");
+  if (cs_spin_) {
+    shape_->spin =
+        &sync_->make_spinlock(sync::SpinKind::kTicket, "jbb.shared");
+  }
   shape_->latency = &latency_;
   shape_->work = &work_;
   if (slo_ != nullptr) {
     shape_->slo = slo_.get();
     shape_->slo_class = 0;  // the class enable_slo() registered
   }
+  if (req_spans_) shape_->span_log = &spans_;
   for (int i = 0; i < warehouses_; ++i) {
     behaviors_.push_back(std::make_unique<JbbWorkerBehavior>(*shape_));
     tasks_.push_back(&k.create_task("jbb.wh" + std::to_string(i),
@@ -140,6 +169,14 @@ obs::SloResult JbbWorkload::slo_result(sim::Time end) {
   return slo_->result();
 }
 
+void JbbWorkload::enable_request_spans() {
+  req_spans_ = true;
+  // Reserve a fig08-sized run's worth up front: the append is on the
+  // serving path, and growth reallocs would otherwise dominate its cost.
+  spans_.reserve(std::size_t{1} << 17);
+  if (shape_ != nullptr) shape_->span_log = &spans_;
+}
+
 AbWorkload::AbWorkload(int connections, sim::Duration run_for,
                        sim::Duration service_mean, sim::Duration think_mean)
     : Workload("ab"),
@@ -149,6 +186,7 @@ AbWorkload::AbWorkload(int connections, sim::Duration run_for,
       think_mean_(think_mean) {}
 
 void AbWorkload::instantiate(guest::GuestKernel& k) {
+  kernel_ = &k;
   sync_ = std::make_unique<sync::SyncContext>(k);
   k.set_memory_intensity(0.8);
   shape_ = std::make_unique<ServerShape>();
@@ -161,6 +199,7 @@ void AbWorkload::instantiate(guest::GuestKernel& k) {
     shape_->slo = slo_.get();
     shape_->slo_class = 0;
   }
+  if (req_spans_) shape_->span_log = &spans_;
   for (int i = 0; i < connections_; ++i) {
     behaviors_.push_back(std::make_unique<AbWorkerBehavior>(*shape_));
     tasks_.push_back(&k.create_task("ab.c" + std::to_string(i),
@@ -189,6 +228,12 @@ obs::SloResult AbWorkload::slo_result(sim::Time end) {
   if (slo_ == nullptr) return {};
   slo_->flush(end);
   return slo_->result();
+}
+
+void AbWorkload::enable_request_spans() {
+  req_spans_ = true;
+  spans_.reserve(std::size_t{1} << 17);  // see JbbWorkload
+  if (shape_ != nullptr) shape_->span_log = &spans_;
 }
 
 }  // namespace irs::wl

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "src/core/metrics.h"
+#include "src/obs/forensics.h"
 #include "src/obs/slo.h"
 #include "src/wl/behavior.h"
 #include "src/wl/workload.h"
@@ -24,6 +26,12 @@ struct ServerShape {
   sim::Duration cs_len = 0;           // jbb only
   int cs_every = 0;                   // jbb: lock every N transactions
   sync::Mutex* mutex = nullptr;       // jbb shared structure lock
+  /// When set, the critical section takes this ticket spinlock instead of
+  /// `mutex`: waiters busy-wait on-CPU, so a preempted holder (or a
+  /// preempted next-in-line waiter) freezes the whole convoy — the paper's
+  /// LHP/LWP pathology, which blocking-mutex waiters largely sidestep by
+  /// yielding their vCPU.
+  sync::SpinLock* spin = nullptr;
   core::Histogram* latency = nullptr;
   /// Per-task counters of completed requests/transactions (may be null).
   obs::Counters* work = nullptr;
@@ -31,6 +39,13 @@ struct ServerShape {
   /// so runs are bit-identical with or without it.
   obs::SloTracker* slo = nullptr;
   std::size_t slo_class = 0;
+  /// Optional request-span capture (see obs::ReqSpan): one completed-span
+  /// append per request into the workload's side log — the trace ring is
+  /// untouched at runtime; the runner synthesizes kReqBegin/kReqEnd
+  /// records from the log for analysis and export. Null unless
+  /// enable_request_spans() was called; capture is passive.
+  std::vector<obs::ReqSpan>* span_log = nullptr;
+  std::int32_t next_req = 0;  // request ids, unique per shape
 };
 
 class JbbWorkerBehavior final : public guest::Behavior {
@@ -58,8 +73,16 @@ class AbWorkerBehavior final : public guest::Behavior {
 
 class JbbWorkload final : public Workload {
  public:
+  /// `cs_len`/`cs_every` shape the shared-structure critical section (hold
+  /// time, lock every Nth transaction). Defaults match the historical
+  /// 80 us / every-2nd shape; forensics fixtures crank them up — and flip
+  /// `cs_spin` so the section takes a ticket spinlock whose waiters spin
+  /// on-CPU — to make lock-holder/waiter preemption the dominant latency
+  /// cause.
   JbbWorkload(int warehouses, sim::Duration run_for,
-              sim::Duration txn_mean = sim::microseconds(400));
+              sim::Duration txn_mean = sim::microseconds(400),
+              sim::Duration cs_len = sim::microseconds(80), int cs_every = 2,
+              bool cs_spin = false);
   void instantiate(guest::GuestKernel& k) override;
   [[nodiscard]] core::Histogram& latency() { return latency_; }
   /// Transactions per simulated second.
@@ -75,12 +98,25 @@ class JbbWorkload final : public Workload {
                   obs::SloSpec spec = default_slo());
   /// Flush open windows at `end` and snapshot. Empty if SLO not enabled.
   [[nodiscard]] obs::SloResult slo_result(sim::Time end);
+  /// Capture a ReqSpan for every transaction into the side log (forensics
+  /// input; the runner turns it into kReqBegin/kReqEnd records at analysis
+  /// time). Passive: capture never perturbs the simulation.
+  void enable_request_spans();
+  [[nodiscard]] const std::vector<obs::ReqSpan>& request_spans() const {
+    return spans_;
+  }
 
  private:
   int warehouses_;
   sim::Duration run_for_;
   sim::Duration txn_mean_;
+  sim::Duration cs_len_;
+  int cs_every_;
+  bool cs_spin_;
+  bool req_spans_ = false;
+  guest::GuestKernel* kernel_ = nullptr;
   core::Histogram latency_;
+  std::vector<obs::ReqSpan> spans_;
   std::unique_ptr<obs::SloTracker> slo_;
   std::unique_ptr<ServerShape> shape_;
 };
@@ -100,13 +136,21 @@ class AbWorkload final : public Workload {
   void enable_slo(sim::Duration window = obs::SloTracker::kDefaultWindow,
                   obs::SloSpec spec = default_slo());
   [[nodiscard]] obs::SloResult slo_result(sim::Time end);
+  /// Capture a ReqSpan for every request (see JbbWorkload).
+  void enable_request_spans();
+  [[nodiscard]] const std::vector<obs::ReqSpan>& request_spans() const {
+    return spans_;
+  }
 
  private:
   int connections_;
   sim::Duration run_for_;
   sim::Duration service_mean_;
   sim::Duration think_mean_;
+  bool req_spans_ = false;
+  guest::GuestKernel* kernel_ = nullptr;
   core::Histogram latency_;
+  std::vector<obs::ReqSpan> spans_;
   std::unique_ptr<obs::SloTracker> slo_;
   std::unique_ptr<ServerShape> shape_;
 };

@@ -21,6 +21,7 @@
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
 #include "src/exp/sweep.h"
+#include "src/obs/forensics.h"
 #include "src/obs/sampler.h"
 #include "src/obs/slo.h"
 
@@ -66,6 +67,35 @@ RunResult synth(std::uint64_t i) {
   t.flush(sim::milliseconds(80));
   r.slo = t.result();
   r.slo_digest = r.slo.digest();
+  // A hand-built forensics block (every field nonzero and i-dependent) so
+  // shard lines, merge, and the golden fixture cover the cause histograms,
+  // violating windows, and the forensics digest.
+  obs::ForensicsResult f;
+  f.window = sim::milliseconds(30);
+  f.head_truncated_at =
+      (i % 3) != 0 ? static_cast<sim::Time>(sim::microseconds(50) * i) : -1;
+  obs::ForensicsClassResult fc;
+  fc.name = "jbb";
+  fc.spec = obs::SloSpec{sim::milliseconds(10), 0.999};
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    for (int c = 0; c < obs::kNumCauses; ++c) {
+      fc.causes[c].add(static_cast<sim::Duration>(131 * (k + i) * (c + 1)));
+    }
+  }
+  fc.spans = 20;
+  fc.truncated = i % 3;
+  fc.open = i % 2;
+  obs::ForensicsWindow w;
+  w.index = static_cast<std::int64_t>(i + 1);
+  w.requests = 20;
+  w.violations = 3 + i % 5;
+  for (int c = 0; c < obs::kNumCauses; ++c) {
+    w.causes[c] = static_cast<sim::Duration>(1000 * (c + 1) + 17 * i);
+  }
+  fc.windows.push_back(w);
+  f.classes.push_back(std::move(fc));
+  r.forensics = std::move(f);
+  r.forensics_digest = r.forensics.digest();
   return r;
 }
 

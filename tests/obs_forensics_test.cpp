@@ -1,0 +1,380 @@
+// Per-request causal forensics: exact latency decomposition, passivity,
+// ring-wrap truncation accounting, JSON round-trips, fold determinism, and
+// the end-to-end root-cause story (LHP dominates Baseline violations under
+// hogs; IRS shifts the mass back to run/ready-wait).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+#include "src/exp/sweep.h"
+#include "src/obs/forensics.h"
+#include "src/obs/json.h"
+#include "src/obs/json_reader.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+using namespace irs;
+
+exp::ScenarioConfig forensics_cfg(const std::string& fg,
+                                  core::Strategy strategy) {
+  exp::ScenarioConfig cfg;
+  cfg.fg = fg;
+  cfg.bg = "hog";
+  cfg.n_inter = 2;
+  cfg.strategy = strategy;
+  cfg.server_duration = sim::milliseconds(400);
+  cfg.forensics = true;
+  return cfg;
+}
+
+unsigned __int128 sum128(const obs::LatencyHistogram& h) {
+  return (static_cast<unsigned __int128>(h.sum_hi()) << 64) | h.sum_lo();
+}
+
+// --- the exact-sum contract ------------------------------------------------
+
+TEST(ForensicsEndToEnd, SegmentsSumExactlyToEndToEndLatency) {
+  // For every (workload, strategy) arm: each cause histogram records one
+  // value per completed span, and the per-cause sums add up bit-exactly to
+  // the total latency the SLO tracker measured for the same requests. The
+  // `untracked` remainder makes this exact by construction; this test
+  // proves no segment is double-charged or leaked.
+  for (const char* fg : {"specjbb", "ab"}) {
+    for (const auto strategy :
+         {core::Strategy::kBaseline, core::Strategy::kIrs}) {
+      const exp::RunResult r = exp::run_scenario(forensics_cfg(fg, strategy));
+      ASSERT_FALSE(r.forensics.empty()) << fg;
+      ASSERT_EQ(r.trace_dropped, 0u) << fg << ": ring wrapped; enlarge";
+      ASSERT_EQ(r.forensics.classes.size(), r.slo.classes.size());
+      for (std::size_t i = 0; i < r.forensics.classes.size(); ++i) {
+        const obs::ForensicsClassResult& c = r.forensics.classes[i];
+        const obs::SloClassResult& s = r.slo.classes[i];
+        EXPECT_EQ(c.name, s.name);
+        EXPECT_EQ(c.truncated, 0u);
+        EXPECT_EQ(c.spans, s.total.count()) << fg << "/" << c.name;
+        unsigned __int128 causes_sum = 0;
+        for (int k = 0; k < obs::kNumCauses; ++k) {
+          EXPECT_EQ(c.causes[k].count(), c.spans)
+              << fg << "/" << c.name << " cause "
+              << obs::cause_name(static_cast<obs::Cause>(k));
+          causes_sum += sum128(c.causes[k]);
+        }
+        const unsigned __int128 latency_sum = sum128(s.total);
+        EXPECT_EQ(static_cast<std::uint64_t>(causes_sum),
+                  static_cast<std::uint64_t>(latency_sum))
+            << fg << "/" << c.name;
+        EXPECT_EQ(static_cast<std::uint64_t>(causes_sum >> 64),
+                  static_cast<std::uint64_t>(latency_sum >> 64))
+            << fg << "/" << c.name;
+        // Violating-window rows only ever cover violating requests.
+        for (const obs::ForensicsWindow& w : c.windows) {
+          EXPECT_GT(w.violations, 0u);
+          EXPECT_GE(w.requests, w.violations);
+        }
+      }
+    }
+  }
+}
+
+// --- passivity -------------------------------------------------------------
+
+TEST(ForensicsEndToEnd, InstrumentationIsPassiveAndDeterministic) {
+  // Same seed with forensics off and on: every scheduling-visible field is
+  // bit-identical (the request brackets and the analyzer only change trace
+  // ring contents and the forensics fields). Two on-runs agree exactly.
+  exp::ScenarioConfig off_cfg = forensics_cfg("specjbb", core::Strategy::kIrs);
+  off_cfg.forensics = false;
+  const exp::RunResult off = exp::run_scenario(off_cfg);
+  const exp::RunResult on1 =
+      exp::run_scenario(forensics_cfg("specjbb", core::Strategy::kIrs));
+  const exp::RunResult on2 =
+      exp::run_scenario(forensics_cfg("specjbb", core::Strategy::kIrs));
+
+  EXPECT_TRUE(off.forensics.empty());
+  EXPECT_EQ(off.forensics_digest, 0u);
+  ASSERT_FALSE(on1.forensics.empty());
+  EXPECT_NE(on1.forensics_digest, 0u);
+  EXPECT_TRUE(on1.forensics == on2.forensics);
+  EXPECT_EQ(on1.forensics_digest, on2.forensics_digest);
+
+  // Mask the fields forensics is *allowed* to change (trace telemetry and
+  // its own block), then require full bit-identity.
+  exp::RunResult a = off;
+  exp::RunResult b = on1;
+  a.trace_dropped = b.trace_dropped = 0;
+  a.trace_total_recorded = b.trace_total_recorded = 0;
+  b.forensics = a.forensics;
+  b.forensics_digest = a.forensics_digest;
+  EXPECT_TRUE(exp::results_identical(a, b));
+}
+
+// --- determinism across engine backends, batch sizes, thread counts -------
+
+TEST(ForensicsEndToEnd, BitIdenticalAcrossQueueBackendsBatchesAndThreads) {
+  // The forensics block (and the whole result line) must be a pure function
+  // of (config, seed): the event-queue backend, the trace staging batch
+  // size, and the sweep pool's thread count are implementation details that
+  // may not leak into the JSON.
+  std::vector<exp::ScenarioConfig> grid;
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    exp::ScenarioConfig cfg = forensics_cfg("specjbb", core::Strategy::kIrs);
+    cfg.server_duration = sim::milliseconds(200);
+    cfg.seed = seed;
+    grid.push_back(cfg);
+  }
+
+  auto render = [](const std::vector<exp::RunResult>& rs) {
+    std::string s;
+    for (const exp::RunResult& r : rs) s += exp::result_json(r) + "\n";
+    return s;
+  };
+
+  const std::string reference = render(exp::run_sweep(grid, /*n_threads=*/1));
+  EXPECT_NE(reference.find("\"forensics\""), std::string::npos);
+
+  for (const auto queue :
+       {sim::QueueKind::kBinaryHeap, sim::QueueKind::kQuadHeap,
+        sim::QueueKind::kHybridWheel}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+      auto g = grid;
+      for (auto& cfg : g) {
+        cfg.queue = queue;
+        cfg.trace_batch = batch;
+      }
+      for (const int threads : {1, 4}) {
+        EXPECT_EQ(render(exp::run_sweep(g, threads)), reference)
+            << "queue " << static_cast<int>(queue) << " batch " << batch
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
+// --- ring-wrap truncation --------------------------------------------------
+
+TEST(ForensicsTruncation, WrappedSpansAreReportedNeverCharged) {
+  // Fuzz the ring capacity: spans live in the side log and never drop, but
+  // when the wrap eats the scheduler evidence under a span (it began before
+  // the contiguous retained tail), the span must be counted in `truncated`
+  // — and never charged into any cause histogram (every cause count stays
+  // equal to `spans`). Same capacity twice must reproduce the same block
+  // bit-for-bit.
+  sim::Rng rng(2026);
+  bool saw_truncation = false;
+  for (int iter = 0; iter < 5; ++iter) {
+    // The 200 ms scenario below records ~3.6k trace records, so any
+    // capacity in [128, 1152) is guaranteed to wrap the ring.
+    const std::size_t capacity = 128 + rng.next_below(1024);
+    exp::ScenarioConfig cfg = forensics_cfg("specjbb", core::Strategy::kIrs);
+    cfg.server_duration = sim::milliseconds(200);
+    cfg.trace_capacity = capacity;
+    const exp::RunResult r1 = exp::run_scenario(cfg);
+    const exp::RunResult r2 = exp::run_scenario(cfg);
+    ASSERT_TRUE(r1.forensics == r2.forensics) << "capacity " << capacity;
+    ASSERT_EQ(r1.forensics_digest, r2.forensics_digest);
+    ASSERT_GT(r1.trace_dropped, 0u) << "capacity " << capacity
+                                    << " did not wrap; shrink the fuzz range";
+    EXPECT_GE(r1.forensics.head_truncated_at, 0) << "capacity " << capacity;
+    std::uint64_t truncated = 0;
+    for (const obs::ForensicsClassResult& c : r1.forensics.classes) {
+      truncated += c.truncated;
+      for (int k = 0; k < obs::kNumCauses; ++k) {
+        EXPECT_EQ(c.causes[k].count(), c.spans)
+            << "capacity " << capacity << " cause "
+            << obs::cause_name(static_cast<obs::Cause>(k));
+      }
+      // Retained spans can never exceed what the SLO tracker (which does
+      // not ride the ring) saw complete.
+      ASSERT_FALSE(r1.slo.empty());
+      const obs::SloClassResult* s = nullptr;
+      for (const obs::SloClassResult& sc : r1.slo.classes) {
+        if (sc.name == c.name) s = &sc;
+      }
+      ASSERT_NE(s, nullptr);
+      EXPECT_LE(c.spans + c.truncated, s->total.count());
+    }
+    saw_truncation = saw_truncation || truncated > 0;
+  }
+  // Across the whole fuzz range at least one capacity must actually have
+  // cut a span in half — otherwise the test proves nothing.
+  EXPECT_TRUE(saw_truncation);
+}
+
+// --- serialization ---------------------------------------------------------
+
+TEST(ForensicsJson, RoundTripsBitIdentically) {
+  const exp::RunResult r =
+      exp::run_scenario(forensics_cfg("ab", core::Strategy::kBaseline));
+  ASSERT_FALSE(r.forensics.empty());
+
+  obs::JsonWriter w;
+  obs::forensics_json(w, r.forensics);
+  const std::string text = w.str();
+
+  obs::JsonReader reader;
+  obs::JsonValue v;
+  ASSERT_TRUE(reader.parse(text, &v)) << reader.error();
+  obs::ForensicsResult parsed;
+  std::string err;
+  ASSERT_TRUE(obs::forensics_from_value(v, &parsed, &err)) << err;
+  EXPECT_TRUE(parsed == r.forensics);
+  EXPECT_EQ(parsed.digest(), r.forensics.digest());
+
+  obs::JsonWriter w2;
+  obs::forensics_json(w2, parsed);
+  EXPECT_EQ(w2.str(), text);  // byte-identical re-serialization
+}
+
+TEST(ForensicsJson, ResultJsonCarriesTheBlockAndRoundTrips) {
+  const exp::RunResult r =
+      exp::run_scenario(forensics_cfg("specjbb", core::Strategy::kBaseline));
+  const std::string json = exp::result_json(r);
+  EXPECT_NE(json.find("\"forensics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"forensics_digest\":"), std::string::npos);
+  exp::RunResult parsed;
+  std::string err;
+  ASSERT_TRUE(exp::result_from_json(json, &parsed, &err)) << err;
+  EXPECT_TRUE(parsed.forensics == r.forensics);
+  EXPECT_TRUE(exp::results_identical(parsed, r));
+  EXPECT_EQ(exp::result_json(parsed), json);
+
+  // Disabled runs carry no block (and old captures parse fine without one —
+  // result_from_value treats both fields as optional).
+  exp::ScenarioConfig off = forensics_cfg("specjbb", core::Strategy::kBaseline);
+  off.forensics = false;
+  const exp::RunResult plain = exp::run_scenario(off);
+  EXPECT_EQ(exp::result_json(plain).find("\"forensics\":"),
+            std::string::npos);
+}
+
+TEST(ForensicsJson, RejectsMalformedFields) {
+  obs::JsonReader reader;
+  obs::JsonValue v;
+  obs::ForensicsResult out;
+  std::string err;
+  ASSERT_TRUE(reader.parse("{\"classes\":[]}", &v));
+  EXPECT_FALSE(obs::forensics_from_value(v, &out, &err));  // no window_ns
+  ASSERT_TRUE(reader.parse(
+      "{\"window_ns\":30000000,\"head_truncated_at\":-1,"
+      "\"classes\":[{\"name\":\"x\"}]}",
+      &v));
+  EXPECT_FALSE(obs::forensics_from_value(v, &out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// --- sweep fold ------------------------------------------------------------
+
+TEST(ForensicsFold, FoldIsOrderIndependentAndExact) {
+  std::vector<exp::RunResult> runs;
+  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    exp::ScenarioConfig cfg = forensics_cfg("specjbb", core::Strategy::kIrs);
+    cfg.server_duration = sim::milliseconds(200);
+    cfg.seed = seed;
+    runs.push_back(exp::run_scenario(cfg));
+  }
+  obs::ForensicsResult fwd;
+  for (const exp::RunResult& r : runs) obs::fold_forensics(fwd, r.forensics);
+  obs::ForensicsResult rev;
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    obs::fold_forensics(rev, it->forensics);
+  }
+  EXPECT_TRUE(fwd == rev);
+  EXPECT_EQ(fwd.digest(), rev.digest());
+
+  // The fold preserves the exact-sum contract: folded cause sums equal the
+  // sum of the per-run cause sums.
+  unsigned __int128 folded = 0;
+  unsigned __int128 serial = 0;
+  for (const obs::ForensicsClassResult& c : fwd.classes) {
+    for (int k = 0; k < obs::kNumCauses; ++k) folded += sum128(c.causes[k]);
+  }
+  for (const exp::RunResult& r : runs) {
+    for (const obs::ForensicsClassResult& c : r.forensics.classes) {
+      for (int k = 0; k < obs::kNumCauses; ++k) serial += sum128(c.causes[k]);
+    }
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(folded),
+            static_cast<std::uint64_t>(serial));
+  EXPECT_EQ(static_cast<std::uint64_t>(folded >> 64),
+            static_cast<std::uint64_t>(serial >> 64));
+}
+
+// --- the root-cause story --------------------------------------------------
+
+TEST(ForensicsRootCause, LhpDominatesBaselineViolationsIrsShiftsToRun) {
+  // Fixed-seed fig08-shaped scenario with the SPECjbb critical section
+  // cranked: every transaction holds the shared structure for 300 µs under
+  // a ticket *spinlock*, so waiters burn CPU instead of yielding their
+  // vCPU — the kernel-spinlock shape the paper's LHP/LWP pathology needs
+  // (blocking-mutex waiters idle their vCPU, which turns holder handoff
+  // into plain runqueue wait). Under Baseline, the forensic verdict for
+  // SLO-violating windows must rank LHP/LWP as the dominant cause; under
+  // IRS the lock-preemption causes must collapse and the latency mass
+  // shift to run/ready-wait.
+  auto arm = [](core::Strategy strategy) {
+    exp::ScenarioConfig cfg;
+    cfg.fg = "specjbb";
+    cfg.bg = "hog";
+    cfg.n_inter = 4;
+    cfg.strategy = strategy;
+    cfg.server_duration = sim::seconds(1);
+    cfg.forensics = true;
+    cfg.jbb_cs_len = sim::microseconds(300);
+    cfg.jbb_cs_every = 1;
+    cfg.jbb_cs_spin = true;
+    cfg.seed = 1;
+    return exp::run_scenario(cfg);
+  };
+  const exp::RunResult base = arm(core::Strategy::kBaseline);
+  const exp::RunResult irs = arm(core::Strategy::kIrs);
+  ASSERT_FALSE(base.forensics.empty());
+  ASSERT_FALSE(irs.forensics.empty());
+  const obs::ForensicsClassResult& bc = base.forensics.classes.front();
+  const obs::ForensicsClassResult& ic = irs.forensics.classes.front();
+  ASSERT_FALSE(bc.windows.empty()) << "Baseline has no violating windows";
+
+  // Rank causes over Baseline's violating windows: lock-holder/waiter
+  // preemption must explain more of the violating latency than any other
+  // single cause.
+  sim::Duration win[obs::kNumCauses] = {};
+  for (const obs::ForensicsWindow& w : bc.windows) {
+    for (int k = 0; k < obs::kNumCauses; ++k) win[k] += w.causes[k];
+  }
+  const sim::Duration lock_stall =
+      win[static_cast<int>(obs::Cause::kLhp)] +
+      win[static_cast<int>(obs::Cause::kLwp)];
+  for (int k = 0; k < obs::kNumCauses; ++k) {
+    const auto cause = static_cast<obs::Cause>(k);
+    if (cause == obs::Cause::kLhp || cause == obs::Cause::kLwp) continue;
+    EXPECT_GE(lock_stall, win[k])
+        << "Baseline violating windows not LHP/LWP-dominated (lost to "
+        << obs::cause_name(cause) << ")";
+  }
+  EXPECT_GT(lock_stall, 0);
+
+  // IRS retires the lock-preemption causes (the SA protocol keeps lock
+  // holders running or migrates waiters off frozen vCPUs)...
+  EXPECT_EQ(ic.cause_total(obs::Cause::kLhp), 0);
+  EXPECT_EQ(ic.cause_total(obs::Cause::kLwp), 0);
+  // ...and the share of latency spent actually computing (run + guest-side
+  // ready-wait) rises.
+  auto share = [](const obs::ForensicsClassResult& c, obs::Cause x,
+                  obs::Cause y) {
+    std::int64_t grand = 0;
+    for (int k = 0; k < obs::kNumCauses; ++k) {
+      grand += c.cause_total(static_cast<obs::Cause>(k));
+    }
+    const std::int64_t num = c.cause_total(x) + c.cause_total(y);
+    return grand > 0 ? static_cast<double>(num) / static_cast<double>(grand)
+                     : 0.0;
+  };
+  EXPECT_GT(share(ic, obs::Cause::kRun, obs::Cause::kReadyWait),
+            share(bc, obs::Cause::kRun, obs::Cause::kReadyWait));
+}
+
+}  // namespace

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace irs::sim {
 namespace {
 
@@ -68,6 +71,36 @@ TEST(Trace, KindNamesAreDistinct) {
                trace_kind_name(TraceKind::kLwp));
   EXPECT_STRNE(trace_kind_name(TraceKind::kHvSchedule),
                trace_kind_name(TraceKind::kHvPreempt));
+}
+
+TEST(Trace, KindNamesRoundTripExhaustively) {
+  // Every TraceKind must have a unique, non-placeholder name, and
+  // trace_kind_from_name must invert trace_kind_name for all of them —
+  // a kind added without a name (or a copy-pasted duplicate) fails here.
+  std::set<std::string> seen;
+  for (int i = 0; i < kNumTraceKinds; ++i) {
+    const auto kind = static_cast<TraceKind>(i);
+    const char* name = trace_kind_name(kind);
+    ASSERT_NE(name, nullptr) << "kind " << i;
+    EXPECT_STRNE(name, "") << "kind " << i;
+    EXPECT_STRNE(name, "?") << "kind " << i;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name '" << name
+                                          << "' for kind " << i;
+    TraceKind back{};
+    ASSERT_TRUE(trace_kind_from_name(name, &back)) << name;
+    EXPECT_EQ(back, kind) << name;
+  }
+  // Unknown names and null are rejected without touching the out-param.
+  TraceKind out = TraceKind::kLhp;
+  EXPECT_FALSE(trace_kind_from_name("no.such.kind", &out));
+  EXPECT_FALSE(trace_kind_from_name("", &out));
+  EXPECT_EQ(out, TraceKind::kLhp);
+  // The request bracket kinds ride the public contract forensics relies on.
+  TraceKind rb{};
+  ASSERT_TRUE(trace_kind_from_name("req.begin", &rb));
+  EXPECT_EQ(rb, TraceKind::kReqBegin);
+  ASSERT_TRUE(trace_kind_from_name("req.end", &rb));
+  EXPECT_EQ(rb, TraceKind::kReqEnd);
 }
 
 }  // namespace

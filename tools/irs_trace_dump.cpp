@@ -18,6 +18,12 @@
 //   --slo            add per-window SLO counter tracks (p50/p99/p999 ms +
 //                    error-budget burn) and print the window table (stdout;
 //                    server foregrounds only — specjbb/ab)
+//   --forensics      per-request causal forensics: request lanes + per-cause
+//                    "why:" counter tracks in the timeline, plus per-class
+//                    cause-total tables and ranked root-cause tables for
+//                    every SLO-violating window (stdout; server foregrounds)
+//   --csv            print the --slo window and --forensics tables as CSV
+//                    instead of fixed-width text
 //
 // Writes the timeline JSON to the output path (default trace.json) and
 // prints a one-line summary (records, span, drops) to stderr.
@@ -29,15 +35,94 @@
 #include <iostream>
 #include <string>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/core/strategy.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
 #include "src/obs/attribution.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/forensics.h"
 
 namespace {
 
 using namespace irs;
+
+void print_table(const exp::Table& t, bool csv) {
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+/// Per-class cause totals (largest first) and, per violating window, the
+/// causes ranked by how much of the violating requests' latency they explain.
+void print_forensics(const obs::ForensicsResult& f, bool csv) {
+  for (const obs::ForensicsClassResult& c : f.classes) {
+    std::printf("forensics class %s: %llu spans (%llu truncated, %llu open), "
+                "%zu violating windows\n",
+                c.name.c_str(), static_cast<unsigned long long>(c.spans),
+                static_cast<unsigned long long>(c.truncated),
+                static_cast<unsigned long long>(c.open), c.windows.size());
+    std::int64_t grand = 0;
+    for (int i = 0; i < obs::kNumCauses; ++i) {
+      grand += c.cause_total(static_cast<obs::Cause>(i));
+    }
+    std::vector<int> order(obs::kNumCauses);
+    for (int i = 0; i < obs::kNumCauses; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return c.cause_total(static_cast<obs::Cause>(a)) >
+             c.cause_total(static_cast<obs::Cause>(b));
+    });
+    exp::Table totals({"cause", "total_ms", "share", "mean_us", "max_ms"});
+    for (int i : order) {
+      const auto cause = static_cast<obs::Cause>(i);
+      const obs::LatencyHistogram& h = c.causes[i];
+      const sim::Duration total = c.cause_total(cause);
+      const double share =
+          grand > 0 ? 100.0 * static_cast<double>(total) /
+                          static_cast<double>(grand)
+                    : 0.0;
+      totals.add_row({obs::cause_name(cause), exp::fmt_ms(total),
+                      exp::fmt_pct(share),
+                      exp::fmt_f(h.count() > 0 ? sim::to_us(total) /
+                                                     static_cast<double>(
+                                                         h.count())
+                                               : 0.0,
+                                 1),
+                      exp::fmt_ms(h.max())});
+    }
+    print_table(totals, csv);
+    if (c.windows.empty()) continue;
+    std::printf("violating windows (latency of violating requests, by "
+                "cause):\n");
+    std::vector<std::string> heads = {"window", "t_start", "requests",
+                                      "violations", "top"};
+    for (int i = 0; i < obs::kNumCauses; ++i) {
+      heads.push_back(std::string(obs::cause_name(static_cast<obs::Cause>(i)))
+                      + "_ms");
+    }
+    exp::Table wins(std::move(heads));
+    for (const obs::ForensicsWindow& win : c.windows) {
+      int top = 0;
+      for (int i = 1; i < obs::kNumCauses; ++i) {
+        if (win.causes[i] > win.causes[top]) top = i;
+      }
+      std::vector<std::string> row = {
+          std::to_string(win.index), exp::fmt_ms(win.index * f.window),
+          std::to_string(win.requests), std::to_string(win.violations),
+          obs::cause_name(static_cast<obs::Cause>(top))};
+      for (int i = 0; i < obs::kNumCauses; ++i) {
+        row.push_back(exp::fmt_ms(win.causes[i]));
+      }
+      wins.add_row(std::move(row));
+    }
+    print_table(wins, csv);
+  }
+}
 
 bool parse_strategy(const std::string& name, core::Strategy* out) {
   const core::Strategy all[] = {
@@ -58,7 +143,7 @@ bool parse_strategy(const std::string& name, core::Strategy* out) {
                "usage: %s [--fg NAME] [--bg NAME] [--strategy NAME] "
                "[--inter N] [--seed N] [--capacity N] [--batch N] "
                "[--summary] [--guest-lanes] [--counters] [--attribution] "
-               "[--slo] [out.json]\n",
+               "[--slo] [--forensics] [--csv] [out.json]\n",
                argv0);
   std::exit(2);
 }
@@ -75,6 +160,8 @@ int main(int argc, char** argv) {
   bool counters = false;
   bool attribution = false;
   bool slo = false;
+  bool forensics = false;
+  bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +198,10 @@ int main(int argc, char** argv) {
       attribution = true;
     } else if (arg == "--slo") {
       slo = true;
+    } else if (arg == "--forensics") {
+      forensics = true;
+    } else if (arg == "--csv") {
+      csv = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
@@ -118,6 +209,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  cfg.forensics = forensics;
   exp::TraceDump dump;
   const exp::RunResult r = exp::run_scenario(cfg, &dump);
 
@@ -131,6 +223,10 @@ int main(int argc, char** argv) {
   opt.guest_lanes = guest_lanes;
   if (counters) opt.counters = &dump.series;
   if (slo) opt.slo = &dump.slo;
+  if (forensics) {
+    opt.request_lanes = true;
+    opt.forensics = &dump.forensics;
+  }
   out << obs::chrome_trace_json(dump.records, dump.meta, opt);
   out.close();
   if (out.fail()) {
@@ -162,8 +258,17 @@ int main(int argc, char** argv) {
                      exp::fmt_ms(win.p999),
                      exp::fmt_f(obs::burn_rate(win, c.spec), 2)});
         }
-        t.print(std::cout);
+        print_table(t, csv);
       }
+    }
+  }
+  if (forensics) {
+    if (dump.forensics.empty()) {
+      std::fprintf(stderr,
+                   "note: no forensics data — --forensics needs a server "
+                   "foreground (--fg specjbb or --fg ab)\n");
+    } else {
+      print_forensics(dump.forensics, csv);
     }
   }
   if (attribution) {
