@@ -34,8 +34,10 @@
 // not be more than 2x worse than an existing report at the output path,
 // the sampler must add less than 6% on top of a traced sweep, the default
 // queue backend must not regress the timer-shape deep-queue bench vs the
-// binary heap, and a streamed shard NDJSON must verify — so none of those
-// regressions can land silently.
+// binary heap, a streamed shard NDJSON must verify, and the open-loop
+// front-end must cost < 5% more wall time per completed request than the
+// closed-loop ab arm at a matched completion rate (with its conservation
+// ledger intact) — so none of those regressions can land silently.
 //
 // IRS_BENCH_FAST=1 shrinks the sweep for smoke runs.
 #include <algorithm>
@@ -610,6 +612,62 @@ int main(int argc, char** argv) {
       static_cast<double>(std::max<std::size_t>(1, fdump.records.size()));
   constexpr double kForensicsAnalyzeNsPerRecordLimit = 150.0;
 
+  // Open-loop front-end cost: the listener/accept-queue/worker machinery
+  // (arrival pacing events, pipe wakeups, FIFO hand-off, overload checks,
+  // keepalive bookkeeping, conservation ledger) must not make a completed
+  // request materially more expensive to simulate than the closed-loop
+  // "ab" workload it generalises. Matched arms: probe ab's completed-
+  // request rate on the scenario shape once, drive the frontend's Poisson
+  // arrivals at exactly that rate, and compare wall seconds per completed
+  // request. Same alternating-arm per-rep-minimum discipline as the SLO
+  // and forensics gates; the shared substrate (hog, scheduler, SLO
+  // recording) is common to both arms and cancels out of the ratio.
+  std::cerr << "[bench_report] open-loop front-end overhead (frontend vs ab, "
+               "matched completion count)...\n";
+  exp::PanelOptions fe_po;
+  exp::ScenarioConfig ab_cell =
+      exp::panel_cfg("ab", core::Strategy::kIrs, 1, fe_po);
+  ab_cell.server_duration = sim::seconds(10);
+  exp::ScenarioConfig fe_cell = ab_cell;
+  fe_cell.fg = "frontend";
+  const exp::RunResult ab_probe = exp::run_scenario(ab_cell);
+  const double fe_duration_sec = 10.0;
+  const double ab_completed =
+      std::max(1.0, ab_probe.throughput * fe_duration_sec);
+  fe_cell.fe_rate_hz = std::max(1.0, ab_probe.throughput);
+  const exp::RunResult fe_probe = exp::run_scenario(fe_cell);
+  const obs::FrontendResult& fe_ledger = fe_probe.frontend;
+  const double fe_completed =
+      std::max<double>(1.0, static_cast<double>(fe_ledger.completed));
+  // Both runs are deterministic, so the probes' completion counts hold for
+  // every timed rep; the conservation identity guards the fe arm's ledger.
+  const bool fe_conserved =
+      fe_ledger.arrivals == fe_ledger.completed + fe_ledger.dropped() +
+                                fe_ledger.shed + fe_ledger.in_flight &&
+      fe_ledger.completed > 0;
+  auto timed_fe_cell = [&](const exp::ScenarioConfig& c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const exp::RunResult r = exp::run_scenario(c);
+    if (!r.finished && r.throughput <= 0) std::abort();
+    return wall_seconds(t0);
+  };
+  constexpr int kFrontendReps = 15;
+  double fe_on_sec = 1e18, fe_ab_sec = 1e18;
+  for (int rep = 0; rep < kFrontendReps; ++rep) {
+    const bool fe_first = (rep % 2) != 0;
+    const double first = timed_fe_cell(fe_first ? fe_cell : ab_cell);
+    const double second = timed_fe_cell(fe_first ? ab_cell : fe_cell);
+    const double fe = fe_first ? first : second;
+    const double ab = fe_first ? second : first;
+    if (fe < fe_on_sec) fe_on_sec = fe;
+    if (ab < fe_ab_sec) fe_ab_sec = ab;
+  }
+  const double frontend_ns_per_req = fe_on_sec * 1e9 / fe_completed;
+  const double ab_ns_per_req = fe_ab_sec * 1e9 / ab_completed;
+  const double frontend_overhead_pct =
+      (frontend_ns_per_req / ab_ns_per_req - 1.0) * 100.0;
+  constexpr double kFrontendOverheadLimitPct = 5.0;
+
   // Regression gate on the batched trace hot path, against the previous
   // report at the same output path (if any).
   const double prev_batched_ns =
@@ -680,6 +738,15 @@ int main(int argc, char** argv) {
       << forensics_analyze_ns_per_record << ",\n"
       << "  \"forensics_replay_identical\": "
       << (forensics_replay_identical ? "true" : "false") << ",\n"
+      << "  \"frontend_completed\": " << fe_completed << ",\n"
+      << "  \"frontend_ab_completed\": " << ab_completed << ",\n"
+      << "  \"frontend_secs\": " << fe_on_sec << ",\n"
+      << "  \"frontend_ab_secs\": " << fe_ab_sec << ",\n"
+      << "  \"frontend_ns_per_req\": " << frontend_ns_per_req << ",\n"
+      << "  \"frontend_ab_ns_per_req\": " << ab_ns_per_req << ",\n"
+      << "  \"frontend_overhead_pct\": " << frontend_overhead_pct << ",\n"
+      << "  \"frontend_conserved\": " << (fe_conserved ? "true" : "false")
+      << ",\n"
       << "  \"sweep_stats\": " << exp::sweep_stats_json(stats) << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
@@ -715,7 +782,12 @@ int main(int argc, char** argv) {
             << forensics_analyze_ns_per_record << "ns/rec over "
             << fdump.records.size() << " records, offline replay "
             << (forensics_replay_identical ? "bit-identical" : "DIVERGED!")
-            << "\n";
+            << "\n"
+            << "frontend: " << frontend_ns_per_req << "ns/req ("
+            << fe_completed << " completed) vs ab " << ab_ns_per_req
+            << "ns/req (" << ab_completed << " completed), +"
+            << frontend_overhead_pct << "% per completed request, ledger "
+            << (fe_conserved ? "conserved" : "NOT CONSERVED!") << "\n";
   if (out.fail()) {
     std::cerr << "error: could not write " << out_path << "\n";
     return 2;
@@ -808,6 +880,26 @@ int main(int argc, char** argv) {
   if (!forensics_replay_identical) {
     std::cerr << "FAIL: offline forensics replay diverged from the in-run "
               << "decomposition (digest mismatch)\n";
+    return 1;
+  }
+  // The open-loop front-end must not make a completed request more than 5%
+  // more expensive to simulate than the closed-loop ab arm at the same
+  // completion rate — the listener, accept pipe, FIFO, and overload checks
+  // replace ab's per-connection think/request loop, not stack on top of it.
+  if (frontend_overhead_pct >= kFrontendOverheadLimitPct) {
+    std::cerr << "FAIL: front-end overhead " << frontend_overhead_pct
+              << "% per completed request exceeds the "
+              << kFrontendOverheadLimitPct << "% gate ("
+              << frontend_ns_per_req << "ns/req vs ab " << ab_ns_per_req
+              << "ns/req)\n";
+    return 1;
+  }
+  if (!fe_conserved) {
+    std::cerr << "FAIL: front-end conservation identity violated (arrivals "
+              << fe_ledger.arrivals << " != completed " << fe_ledger.completed
+              << " + dropped " << fe_ledger.dropped() << " + shed "
+              << fe_ledger.shed << " + in-flight " << fe_ledger.in_flight
+              << ")\n";
     return 1;
   }
   return bit_identical ? 0 : 1;

@@ -42,6 +42,27 @@ int main() {
     }
     points.push_back(std::move(row));
   }
+  // Open-loop cells for Figure 8(e): the "frontend" workload's arrivals
+  // keep coming during hog-induced freezes (no closed-loop back-off), so
+  // interference surfaces as queue growth, drops/sheds, and p999 blowups
+  // the jbb/ab panels cannot show. Two overload arms: tail-drop and
+  // SLO-burn shedding.
+  std::vector<std::vector<Point>> open_points;  // [policy][inter-1]
+  const std::vector<std::string> policies = {"drop", "shed"};
+  for (const auto& ov : policies) {
+    std::vector<Point> row;
+    for (int n = 1; n <= 4; ++n) {
+      bench::PanelOptions o;
+      exp::ScenarioConfig base_cfg =
+          bench::make_cfg("frontend", core::Strategy::kBaseline, n, o);
+      base_cfg.server_duration = sim::seconds(2);
+      base_cfg.fe_overload = ov;
+      exp::ScenarioConfig irs_cfg = base_cfg;
+      irs_cfg.strategy = core::Strategy::kIrs;
+      row.push_back(Point{grid.add(base_cfg, seeds), grid.add(irs_cfg, seeds)});
+    }
+    open_points.push_back(std::move(row));
+  }
   if (!grid.run()) return 0;  // shard mode: results live in the NDJSON file
 
   for (std::size_t a = 0; a < apps.size(); ++a) {
@@ -100,6 +121,38 @@ int main() {
     }
   }
   slo.print(std::cout);
+
+  // Does IRS hold the tail when arrivals don't back off? Per (policy,
+  // inter, strategy): whole-run p999, the conservation ledger's refusal
+  // counts, the deepest the accept queue got, and the mean accept-queue
+  // wait of completed requests.
+  exp::banner(std::cout,
+              "Figure 8(e): open-loop front-end (arrivals do not back off)");
+  exp::Table open({"policy", "inter", "strategy", "p999", "completed",
+                   "dropped", "shed", "max depth", "mean qwait"});
+  for (std::size_t a = 0; a < policies.size(); ++a) {
+    for (std::size_t n = 0; n < open_points[a].size(); ++n) {
+      const Point& p = open_points[a][n];
+      for (const bool is_irs : {false, true}) {
+        const exp::RunResult r = grid.avg(is_irs ? p.irs : p.base);
+        const obs::FrontendResult& f = r.frontend;
+        const sim::Duration p999 =
+            r.slo.empty() ? r.lat_p99
+                          : r.slo.classes.front().total.percentile(99.9);
+        const sim::Duration qwait_mean =
+            f.completed > 0 ? f.queue_wait_total /
+                                  static_cast<sim::Duration>(f.completed)
+                            : 0;
+        open.add_row({policies[a], std::to_string(n + 1),
+                      is_irs ? "IRS" : "Baseline", exp::fmt_ms(p999),
+                      std::to_string(f.completed),
+                      std::to_string(f.dropped()), std::to_string(f.shed),
+                      std::to_string(f.max_queue_depth),
+                      exp::fmt_us(qwait_mean)});
+      }
+    }
+  }
+  open.print(std::cout);
 
   // Why did p999 move? Per-request causal forensics on one fixed-seed run
   // per (workload, strategy) at the heaviest interference level: the

@@ -8,8 +8,10 @@
 # half-consumed tail re-pushes, calendar bulk migration), and
 # forensics_asan (the request-forensics replay indexes flat per-vCPU/task
 # state by trace ids and reads half-open spans after ring wrap, fuzzed
-# over randomized ring capacities) — exactly the kind of ownership bug
-# ASan catches and TSan does not.
+# over randomized ring capacities), and frontend_asan (the bounded accept
+# FIFO's push/pop churn and lazily sized per-connection keepalive
+# counters under the overload fault matrix) — exactly the kind of
+# ownership bug ASan catches and TSan does not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

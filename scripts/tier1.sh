@@ -18,6 +18,13 @@ scripts/shard_roundtrip.sh
 ./build/tools/irs_trace_dump --fg specjbb --strategy Xen \
     --forensics --csv > /dev/null
 
+# Open-loop front-end smoke: a short fig08_open arm (frontend workload
+# under a hog, tail-drop policy) through the trace dump's conservation
+# ledger table — the arrival pipeline, overload accounting, and the
+# queue-wait forensics cause must all render end-to-end.
+./build/tools/irs_trace_dump --fg frontend --strategy IRS \
+    --frontend --fe-overload drop --csv > /dev/null
+
 # Engine deep-queue bench smoke: every EventQueue backend variant (binary,
 # quad, wheel x tight/timer shapes, batching off/on) must run clean. The
 # old-vs-new ratios the perf trajectory tracks are recorded in
@@ -28,9 +35,9 @@ scripts/shard_roundtrip.sh
 
 # Gate check: bench_report fails (exit 1) if dispatch_batch_speedup < 1.3
 # or deepqueue_speedup_vs_binary < 0.9, or any determinism/overhead gate
-# trips (including the SLO recording-overhead, histogram-memory, and
-# cross-shard fold-identity gates). IRS_BENCH_FAST keeps the sweep portion
-# smoke-sized.
+# trips (including the SLO recording-overhead, histogram-memory,
+# cross-shard fold-identity, and open-loop front-end per-request overhead
+# gates). IRS_BENCH_FAST keeps the sweep portion smoke-sized.
 IRS_BENCH_FAST=1 ./build/bench/bench_report build/BENCH_tier1_smoke.json
 
 # Optional UBSan pass (separate build tree, ~one extra compile): set

@@ -3,11 +3,13 @@
 # a separate build tree and run the sweep determinism suite plus the
 # observability pipeline (sampler/trace/export) under the pool — the
 # sweep_determinism_tsan, obs_pipeline_tsan, engine_queue_tsan,
-# engine_batch_tsan, and forensics_tsan (per-run trace replay + fold/digest
-# under worker threads) CTest jobs registered under -DIRS_SANITIZE=thread.
+# engine_batch_tsan, forensics_tsan (per-run trace replay + fold/digest
+# under worker threads), and frontend_tsan (the open-loop front-end's
+# shared accept pipe/FIFO/ledger under the sweep pool) CTest jobs
+# registered under -DIRS_SANITIZE=thread.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DIRS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j --target irs_tests
-cd build-tsan && ctest --output-on-failure -R 'sweep_determinism_tsan|obs_pipeline_tsan|engine_queue_tsan|engine_batch_tsan|forensics_tsan'
+cd build-tsan && ctest --output-on-failure -R 'sweep_determinism_tsan|obs_pipeline_tsan|engine_queue_tsan|engine_batch_tsan|forensics_tsan|frontend_tsan'

@@ -8,7 +8,9 @@
 # in the repo, where signed overflow or an out-of-range shift would
 # otherwise hide behind whatever the optimiser happened to emit), and
 # forensics_ubsan (segment arithmetic over trace timestamps and the
-# 128-bit per-cause sums behind the exact-sum contract).
+# 128-bit per-cause sums behind the exact-sum contract), and
+# frontend_ubsan (arrival-gap rate/Duration conversions through doubles
+# and the conservation-ledger digest mixing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -109,6 +109,28 @@ void fig08(Grid& g) {
   }
 }
 
+/// Open-loop variant of Fig. 8: does IRS hold the tail when arrivals do
+/// not back off? Same jbb/ab shape (four vCPUs, 1..4 hogs, Baseline vs.
+/// IRS) but the foreground is the "frontend" workload, whose open-loop
+/// Poisson arrivals keep coming during freezes — the accept queue absorbs
+/// and the drop/shed ledgers expose what closed-loop clients hide. Two
+/// overload arms: plain tail-drop and SLO-burn shedding.
+void fig08_open(Grid& g) {
+  for (const char* ov : {"drop", "shed"}) {
+    for (int n = 1; n <= 4; ++n) {
+      PanelOptions o;
+      ScenarioConfig base =
+          panel_cfg("frontend", core::Strategy::kBaseline, n, o);
+      base.server_duration = sim::seconds(2);
+      base.fe_overload = ov;
+      ScenarioConfig irs = base;
+      irs.strategy = core::Strategy::kIrs;
+      g.add(base);
+      g.add(irs);
+    }
+  }
+}
+
 void fig10(Grid& g, bool fast) {
   struct App {
     const char* name;
@@ -171,8 +193,8 @@ void smoke(Grid& g) {
 std::vector<std::string> figure_grid_names() {
   return {"fig02",  "fig05",  "fig05a", "fig05b", "fig05c", "fig06",
           "fig06a", "fig06b", "fig06c", "fig07",  "fig07a", "fig07b",
-          "fig08",  "fig09",  "fig09a", "fig09b", "fig10",  "fig11",
-          "fig12",  "fig13",  "smoke"};
+          "fig08",  "fig08_open",        "fig09",  "fig09a", "fig09b",
+          "fig10",  "fig11",  "fig12",  "fig13",  "smoke"};
 }
 
 std::vector<ScenarioConfig> figure_grid(const std::string& name,
@@ -204,6 +226,8 @@ std::vector<ScenarioConfig> figure_grid(const std::string& name,
               PanelOptions{}, fast, p);
   } else if (name == "fig08") {
     fig08(g);
+  } else if (name == "fig08_open") {
+    fig08_open(g);
   } else if (const char p = panel_of("fig09"); p != '?') {
     PanelOptions o;
     o.npb_spinning = true;

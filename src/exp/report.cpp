@@ -122,6 +122,11 @@ void result_json_fields(obs::JsonWriter& w, const RunResult& r) {
     w.key("forensics");
     obs::forensics_json(w, r.forensics);
   }
+  w.field("frontend_digest", r.frontend_digest);
+  if (!r.frontend.empty()) {
+    w.key("frontend");
+    obs::frontend_json(w, r.frontend);
+  }
 }
 
 namespace {
@@ -220,6 +225,13 @@ bool result_from_value(const obs::JsonValue& v, RunResult* r,
   }
   if (const obs::JsonValue* fz = v.find("forensics")) {
     if (!obs::forensics_from_value(*fz, &out.forensics, err)) return false;
+  }
+  if (v.find("frontend_digest") != nullptr &&
+      !read_field(v, "frontend_digest", &out.frontend_digest, err)) {
+    return false;
+  }
+  if (const obs::JsonValue* fe = v.find("frontend")) {
+    if (!obs::frontend_from_value(*fe, &out.frontend, err)) return false;
   }
   *r = out;
   return true;

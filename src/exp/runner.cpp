@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/exp/sweep.h"
+#include "src/wl/frontend.h"
 #include "src/wl/registry.h"
 #include "src/wl/server.h"
 
@@ -33,7 +34,8 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.trace_total_recorded == b.trace_total_recorded &&
          a.slo == b.slo && a.slo_digest == b.slo_digest &&
          a.forensics == b.forensics &&
-         a.forensics_digest == b.forensics_digest;
+         a.forensics_digest == b.forensics_digest &&
+         a.frontend == b.frontend && a.frontend_digest == b.frontend_digest;
 }
 
 RunResult run_scenario(const ScenarioConfig& cfg) {
@@ -76,6 +78,11 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   fg_opts.jbb_cs_len = cfg.jbb_cs_len;
   fg_opts.jbb_cs_every = cfg.jbb_cs_every;
   fg_opts.jbb_cs_spin = cfg.jbb_cs_spin;
+  fg_opts.fe_arrival = cfg.fe_arrival;
+  fg_opts.fe_rate_hz = cfg.fe_rate_hz;
+  fg_opts.fe_overload = cfg.fe_overload;
+  fg_opts.fe_queue_cap = cfg.fe_queue_cap;
+  fg_opts.fe_keepalive = cfg.fe_keepalive;
   wl::Workload& fg_wl = world.attach(fg, wl::make_workload(cfg.fg, fg_opts));
 
   // Windowed SLO tracking (server workloads; passive, so the simulation is
@@ -87,6 +94,8 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
       jbb->enable_slo(w);
     } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
       ab->enable_slo(w);
+    } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
+      fe->enable_slo(w);
     }
   }
   if (cfg.forensics) {
@@ -94,6 +103,8 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
       jbb->enable_request_spans();
     } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
       ab->enable_request_spans();
+    } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
+      fe->enable_request_spans();
     }
   }
 
@@ -144,8 +155,15 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
     r.lat_mean = ab->latency().mean();
     r.lat_p99 = ab->latency().percentile(99.0);
     r.slo = ab->slo_result(world.engine().now());
+  } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
+    r.throughput = fe->throughput();
+    r.lat_mean = fe->latency().mean();
+    r.lat_p99 = fe->latency().percentile(99.0);
+    r.slo = fe->slo_result(world.engine().now());
+    r.frontend = fe->frontend_result();
   }
   r.slo_digest = r.slo.digest();
+  r.frontend_digest = r.frontend.digest();
 
   const hv::SchedStats& ss = world.host().sched_stats();
   r.lhp = ss.lhp_events;
@@ -201,6 +219,8 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
         spans = &jbb->request_spans();
       } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
         spans = &ab->request_spans();
+      } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
+        spans = &fe->request_spans();
       }
       if (spans != nullptr && !spans->empty()) {
         records =

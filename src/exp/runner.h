@@ -11,6 +11,7 @@
 #include "src/core/world.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/forensics.h"
+#include "src/obs/frontend_stats.h"
 #include "src/obs/slo.h"
 
 namespace irs::exp {
@@ -52,6 +53,16 @@ struct ScenarioConfig {
   sim::Duration jbb_cs_len = 0;
   int jbb_cs_every = 0;
   bool jbb_cs_spin = false;
+
+  /// Open-loop front-end knobs (fg == "frontend"; see src/wl/frontend.h):
+  /// arrival process ("poisson"/"mmpp"/"diurnal"), base rate (0 = model
+  /// default), overload policy ("drop"/"admit"/"shed"), accept-queue bound
+  /// (0 = model default), and connection keepalive.
+  std::string fe_arrival = "poisson";
+  double fe_rate_hz = 0.0;
+  std::string fe_overload = "drop";
+  int fe_queue_cap = 0;
+  bool fe_keepalive = true;
 
   /// Event-queue backend override (see WorldConfig::queue); defaults to
   /// the process-wide default. Results must be backend-independent.
@@ -127,6 +138,11 @@ struct RunResult {
   /// digest — folded through sweeps exactly like the SLO capture.
   obs::ForensicsResult forensics;
   std::uint64_t forensics_digest = 0;
+  /// Open-loop front-end conservation ledger (empty unless fg ==
+  /// "frontend") and its digest — folded through sweeps like the SLO
+  /// capture (counters add exactly, maxes take the max).
+  obs::FrontendResult frontend;
+  std::uint64_t frontend_digest = 0;
 };
 
 /// A run's trace, captured for export: the snapshot (time-ordered, flushed)

@@ -155,6 +155,8 @@ void SweepStats::add(const RunResult& r) {
   fold_slo(slo_, r.slo);
   forensics_digest_xor_ ^= r.forensics_digest;
   obs::fold_forensics(forensics_, r.forensics);
+  frontend_digest_xor_ ^= r.frontend_digest;
+  obs::fold_frontend(frontend_, r.frontend);
 }
 
 void fold_slo(obs::SloResult& acc, const obs::SloResult& r) {
@@ -283,6 +285,14 @@ std::string sweep_stats_json(const SweepStats& s) {
       w.end_object();
     }
     w.end_array();
+    w.end_object();
+  }
+  if (!s.frontend().empty()) {
+    w.key("frontend");
+    w.begin_object();
+    w.field("digest_xor", s.frontend_digest_xor());
+    w.key("totals");
+    obs::frontend_json(w, s.frontend());
     w.end_object();
   }
   w.end_object();

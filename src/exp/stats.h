@@ -109,6 +109,17 @@ class SweepStats {
     return forensics_digest_xor_;
   }
 
+  /// Sweep-wide front-end fold: the conservation ledgers of every run
+  /// summed exactly (see obs::fold_frontend). Empty when no run carried a
+  /// frontend block.
+  [[nodiscard]] const obs::FrontendResult& frontend() const {
+    return frontend_;
+  }
+  /// XOR of every run's frontend_digest (see slo_digest_xor).
+  [[nodiscard]] std::uint64_t frontend_digest_xor() const {
+    return frontend_digest_xor_;
+  }
+
  private:
   std::uint64_t runs_ = 0;
   std::uint64_t finished_ = 0;
@@ -117,6 +128,8 @@ class SweepStats {
   std::uint64_t slo_digest_xor_ = 0;
   obs::ForensicsResult forensics_;
   std::uint64_t forensics_digest_xor_ = 0;
+  obs::FrontendResult frontend_;
+  std::uint64_t frontend_digest_xor_ = 0;
 };
 
 /// Fold one run's SLO capture into `acc`: classes match by name, totals

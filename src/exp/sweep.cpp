@@ -187,10 +187,12 @@ RunResult average_results(const std::vector<RunResult>& rs) {
     acc.sampler_digest ^= r.sampler_digest;
     acc.slo_digest ^= r.slo_digest;
     acc.forensics_digest ^= r.forensics_digest;
+    acc.frontend_digest ^= r.frontend_digest;
     acc.trace_dropped += r.trace_dropped;
     acc.trace_total_recorded += r.trace_total_recorded;
     fold_slo(acc.slo, r.slo);  // bucket-exact class fold (see exp/stats.h)
     obs::fold_forensics(acc.forensics, r.forensics);
+    obs::fold_frontend(acc.frontend, r.frontend);
   }
   const double n = static_cast<double>(rs.size());
   acc.fg_makespan = static_cast<sim::Duration>(makespan / n);

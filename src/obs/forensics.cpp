@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <iterator>
 #include <set>
@@ -21,6 +22,7 @@ const char* cause_name(Cause c) {
     case Cause::kSaNotify: return "sa_notify";
     case Cause::kBlock: return "block";
     case Cause::kUntracked: return "untracked";
+    case Cause::kQueueWait: return "queue_wait";
   }
   return "?";
 }
@@ -433,9 +435,15 @@ struct Analyzer {
       snapshot(ts, r.when);
     }
     ts.req_active = true;
-    ts.req_begin = r.when;
     ts.req_cls = r.b >= 0 ? r.b : 0;
     for (int c = 0; c < kNumCauses; ++c) ts.causes[c] = 0;
+    // The bracket sits at the service start; the note carries the
+    // accept-queue wait (ns) the request spent before any task touched it.
+    // Back-date the span and pre-charge the wait so the end-to-end total
+    // still covers arrival -> completion, exactly.
+    const sim::Duration qwait = std::atoll(r.note.c_str());
+    ts.req_begin = r.when - qwait;
+    ts.causes[static_cast<int>(Cause::kQueueWait)] = qwait;
   }
 
   void on_req_end(const sim::TraceRecord& r) {
@@ -574,9 +582,21 @@ std::vector<sim::TraceRecord> with_request_spans(
   synth.reserve(spans.size() * 2);
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const ReqSpan& s = spans[i];
-    synth.push_back(sim::TraceRecord{s.begin, base_seq + 2 * i,
-                                     sim::TraceKind::kReqBegin, s.req, s.cls,
-                                     s.task, ""});
+    // The begin bracket sits at the service start; a nonzero accept-queue
+    // wait rides in the note (decimal ns) and the analyzer back-dates the
+    // span by it (see header).
+    sim::TraceRecord begin{s.begin + s.qwait, base_seq + 2 * i,
+                           sim::TraceKind::kReqBegin, s.req, s.cls, s.task,
+                           ""};
+    if (s.qwait > 0) {
+      // A 15-char note holds any wait below ~11.5 simulated days;
+      // TraceNote truncates (never overflows) beyond that.
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(s.qwait));
+      begin.note = buf;
+    }
+    synth.push_back(begin);
     synth.push_back(sim::TraceRecord{s.end, base_seq + 2 * i + 1,
                                      sim::TraceKind::kReqEnd, s.req, s.cls,
                                      s.task, ""});
@@ -909,7 +929,11 @@ bool forensics_from_value(const JsonValue& v, ForensicsResult* out,
       return fz_err(err, "forensics class: missing 'windows'");
     }
     for (const JsonValue& wv : windows->items) {
-      if (!wv.is_array() || wv.items.size() != 3 + kNumCauses) {
+      // Window causes are positional (enum order); causes append, so a
+      // capture from before a cause existed is shorter — accept it and
+      // default the missing tail to 0. Longer than we know is malformed.
+      if (!wv.is_array() || wv.items.size() < 3 ||
+          wv.items.size() > static_cast<std::size_t>(3 + kNumCauses)) {
         return fz_err(err, "forensics class: bad window entry");
       }
       ForensicsWindow win;
@@ -919,7 +943,7 @@ bool forensics_from_value(const JsonValue& v, ForensicsResult* out,
         return fz_err(err, "forensics class: bad window field");
       }
       win.index = idx;
-      for (int i = 0; i < kNumCauses; ++i) {
+      for (int i = 0; 3 + i < static_cast<int>(wv.items.size()); ++i) {
         std::int64_t d = 0;
         if (!wv.items[static_cast<std::size_t>(3 + i)].get(&d)) {
           return fz_err(err, "forensics class: bad window cause");

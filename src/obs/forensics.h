@@ -27,6 +27,10 @@
 //   block      voluntarily off-CPU (lock wait / sleep) with no LHP freeze
 //   untracked  remainder: pre-trace cold start or states the replay cannot
 //              classify — kept so segments sum *exactly* to the latency
+//   queue_wait accept-queue wait before service start (open-loop front-end
+//              workloads back-date the span to the arrival instant and
+//              carry the wait in ReqSpan::qwait) — first-class so
+//              ready-wait and accept-queue wait separate cleanly
 //
 // The decomposition is exact by construction: every segment is an overlap
 // of the span with a replayed scheduler state, the remainder goes to
@@ -66,10 +70,11 @@ enum class Cause : int {
   kSaNotify,
   kBlock,
   kUntracked,
+  kQueueWait,
 };
-inline constexpr int kNumCauses = static_cast<int>(Cause::kUntracked) + 1;
+inline constexpr int kNumCauses = static_cast<int>(Cause::kQueueWait) + 1;
 
-/// Stable short name ("run", "ready_wait", ... "untracked").
+/// Stable short name ("run", "ready_wait", ... "queue_wait").
 const char* cause_name(Cause c);
 
 /// Per-cause latency totals of the SLO-violating requests that completed in
@@ -121,17 +126,22 @@ struct ForensicsResult {
 };
 
 /// One completed request span, captured by the serving workloads into a
-/// plain side log instead of the trace ring: recording costs one 24-byte
-/// append per request (no per-request ring traffic or seq allocation — the
-/// bench_report recording gate rides on this), and the analysis/export
-/// path re-synthesizes the kReqBegin/kReqEnd records from the log with
-/// with_request_spans().
+/// plain side log instead of the trace ring: recording costs one small
+/// fixed-size append per request (no per-request ring traffic or seq
+/// allocation — the bench_report recording gate rides on this), and the
+/// analysis/export path re-synthesizes the kReqBegin/kReqEnd records from
+/// the log with with_request_spans().
 struct ReqSpan {
-  sim::Time begin = 0;       // service start (jbb) / arrival (ab)
+  sim::Time begin = 0;       // service start (jbb) / arrival (ab, frontend)
   sim::Time end = 0;         // completion — the SLO-recording instant
   std::int32_t req = -1;     // request id, unique per workload
   std::int32_t cls = 0;      // SLO class
   std::int32_t task = -1;    // serving guest task id
+  /// Accept-queue wait inside [begin, end): the span spent [begin,
+  /// begin+qwait) queued before any task touched it. The replay charges it
+  /// to Cause::kQueueWait and starts the scheduler decomposition at
+  /// begin+qwait. 0 for the closed-loop workloads (jbb/ab).
+  sim::Duration qwait = 0;
 };
 
 /// Render `spans` as kReqBegin/kReqEnd records and merge them into a
@@ -140,6 +150,10 @@ struct ReqSpan {
 /// total_recorded — one past the largest real seq) so that at equal
 /// timestamps they order deterministically after every ring record, the
 /// same place a bracket recorded at that instant would have sorted.
+/// A span with qwait > 0 synthesizes its kReqBegin at the *service start*
+/// (begin + qwait) carrying the wait as a decimal-ns note — the same idiom
+/// kMigrate uses for its penalty — so the replay never mischarges worker
+/// activity that happened while the request sat in the accept queue.
 std::vector<sim::TraceRecord> with_request_spans(
     const std::vector<sim::TraceRecord>& records,
     const std::vector<ReqSpan>& spans, std::uint64_t base_seq);

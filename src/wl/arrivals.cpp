@@ -1,0 +1,145 @@
+#include "src/wl/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace irs::wl {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kMmpp: return "mmpp";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+bool arrival_kind_from_name(const std::string& name, ArrivalKind* out) {
+  for (const ArrivalKind k :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal}) {
+    if (name == arrival_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Mean interarrival gap (ns) at `rate_hz`; saturates degenerate rates to
+/// something finite so a bad config degrades instead of dividing by zero.
+sim::Duration mean_gap(double rate_hz) {
+  if (rate_hz <= 0.0) return sim::seconds(3600);
+  const double ns = 1e9 / rate_hz;
+  return std::max<sim::Duration>(1, static_cast<sim::Duration>(ns));
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg) : cfg_(cfg) {
+  if (cfg_.rate_hz <= 0.0) cfg_.rate_hz = 1800.0;
+  if (cfg_.diurnal_mult.empty()) cfg_.diurnal_mult = {1.0};
+  if (cfg_.diurnal_period <= 0) cfg_.diurnal_period = sim::seconds(1);
+  if (cfg_.calm_dwell_mean <= 0) cfg_.calm_dwell_mean = sim::milliseconds(200);
+  if (cfg_.burst_dwell_mean <= 0) cfg_.burst_dwell_mean = sim::milliseconds(50);
+}
+
+double ArrivalProcess::burst_rate() const {
+  return cfg_.burst_rate_hz > 0.0 ? cfg_.burst_rate_hz : 4.0 * cfg_.rate_hz;
+}
+
+sim::Duration ArrivalProcess::segment_len() const {
+  return std::max<sim::Duration>(
+      1, cfg_.diurnal_period /
+             static_cast<sim::Duration>(cfg_.diurnal_mult.size()));
+}
+
+double ArrivalProcess::segment_rate(std::size_t seg) const {
+  return cfg_.rate_hz * cfg_.diurnal_mult[seg % cfg_.diurnal_mult.size()];
+}
+
+sim::Duration ArrivalProcess::next_gap(sim::Rng& rng) {
+  switch (cfg_.kind) {
+    case ArrivalKind::kPoisson:
+      return std::max<sim::Duration>(1,
+                                     rng.exponential(mean_gap(cfg_.rate_hz)));
+    case ArrivalKind::kMmpp: {
+      sim::Duration gap = 0;
+      for (;;) {
+        if (dwell_left_ <= 0) {
+          dwell_left_ = std::max<sim::Duration>(
+              1, rng.exponential(burst_ ? cfg_.burst_dwell_mean
+                                        : cfg_.calm_dwell_mean));
+        }
+        const double rate = burst_ ? burst_rate() : cfg_.rate_hz;
+        const sim::Duration d = rng.exponential(mean_gap(rate));
+        if (d < dwell_left_) {
+          dwell_left_ -= d;
+          return std::max<sim::Duration>(1, gap + d);
+        }
+        // The modulating chain switches first: spend the dwell remainder
+        // and redraw at the new rate (memoryless, so this is exact).
+        gap += dwell_left_;
+        dwell_left_ = 0;
+        burst_ = !burst_;
+      }
+    }
+    case ArrivalKind::kDiurnal: {
+      const sim::Duration seg_len = segment_len();
+      const sim::Duration n_segs =
+          static_cast<sim::Duration>(cfg_.diurnal_mult.size());
+      sim::Duration gap = 0;
+      for (;;) {
+        const std::size_t seg =
+            static_cast<std::size_t>((phase_ / seg_len) % n_segs);
+        const sim::Duration seg_end = ((phase_ / seg_len) + 1) * seg_len;
+        const double rate = segment_rate(seg);
+        if (rate <= 0.0) {  // silent segment: skip to its end
+          gap += seg_end - phase_;
+          phase_ = seg_end % (seg_len * n_segs);
+          continue;
+        }
+        const sim::Duration d = rng.exponential(mean_gap(rate));
+        if (phase_ + d < seg_end) {
+          phase_ += d;
+          return std::max<sim::Duration>(1, gap + d);
+        }
+        gap += seg_end - phase_;
+        phase_ = seg_end % (seg_len * n_segs);
+      }
+    }
+  }
+  return 1;
+}
+
+double ArrivalProcess::expected_count(sim::Duration t) const {
+  if (t <= 0) return 0.0;
+  switch (cfg_.kind) {
+    case ArrivalKind::kPoisson:
+      return cfg_.rate_hz * sim::to_sec(t);
+    case ArrivalKind::kMmpp: {
+      const double dc = sim::to_sec(cfg_.calm_dwell_mean);
+      const double db = sim::to_sec(cfg_.burst_dwell_mean);
+      const double stationary =
+          (cfg_.rate_hz * dc + burst_rate() * db) / (dc + db);
+      return stationary * sim::to_sec(t);
+    }
+    case ArrivalKind::kDiurnal: {
+      const sim::Duration seg_len = segment_len();
+      double n = 0.0;
+      sim::Duration at = 0;
+      std::size_t seg = 0;
+      while (at < t) {
+        const sim::Duration step = std::min<sim::Duration>(seg_len, t - at);
+        n += segment_rate(seg) * sim::to_sec(step);
+        at += step;
+        ++seg;
+      }
+      return n;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace irs::wl

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/wl/frontend.h"
 #include "src/wl/hog.h"
 #include "src/wl/npb.h"
 #include "src/wl/parallel_workload.h"
@@ -34,7 +35,7 @@ AppSpec scaled(AppSpec s, double scale) {
 
 bool workload_exists(const std::string& name) {
   return is_parsec(name) || is_npb(name) || name == "specjbb" ||
-         name == "ab" || name == "hog";
+         name == "ab" || name == "frontend" || name == "hog";
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& name,
@@ -59,6 +60,25 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
     // ab's connection count is independent of vCPUs; the paper uses 512.
     const int conns = opts.n_threads > 8 ? opts.n_threads : 512;
     return std::make_unique<AbWorkload>(conns, opts.server_duration);
+  }
+  if (name == "frontend") {
+    FrontendOptions fe;
+    fe.n_workers = opts.n_threads;
+    fe.run_for = opts.server_duration;
+    if (!arrival_kind_from_name(opts.fe_arrival, &fe.arrivals.kind)) {
+      std::fprintf(stderr, "unknown arrival process: %s\n",
+                   opts.fe_arrival.c_str());
+      std::abort();
+    }
+    if (opts.fe_rate_hz > 0.0) fe.arrivals.rate_hz = opts.fe_rate_hz;
+    if (!overload_policy_from_name(opts.fe_overload, &fe.overload)) {
+      std::fprintf(stderr, "unknown overload policy: %s\n",
+                   opts.fe_overload.c_str());
+      std::abort();
+    }
+    if (opts.fe_queue_cap > 0) fe.queue_cap = opts.fe_queue_cap;
+    fe.keepalive = opts.fe_keepalive;
+    return std::make_unique<FrontendWorkload>(fe);
   }
   if (name == "hog") {
     return std::make_unique<HogWorkload>(opts.n_threads);

@@ -28,10 +28,22 @@ struct WorkloadOptions {
   /// on-CPU) instead of the blocking mutex — the shape that reproduces the
   /// paper's lock-holder/waiter preemption pathology.
   bool jbb_cs_spin = false;
+  /// Open-loop front-end ("frontend") knobs; see src/wl/frontend.h.
+  /// Arrival process: "poisson", "mmpp", or "diurnal".
+  std::string fe_arrival = "poisson";
+  /// Base arrival rate in requests per simulated second (0 = model
+  /// default, 1800 — just under the 4-worker service capacity).
+  double fe_rate_hz = 0.0;
+  /// Overload policy: "drop" (tail-drop), "admit", or "shed".
+  std::string fe_overload = "drop";
+  /// Accept-queue bound (0 = model default, 64).
+  int fe_queue_cap = 0;
+  bool fe_keepalive = true;
 };
 
 /// Create a workload by name. Accepts every PARSEC name, every NPB name
-/// ("BT".."UA"), "specjbb", "ab", and "hog". Aborts on unknown names.
+/// ("BT".."UA"), "specjbb", "ab", "frontend", and "hog". Aborts on unknown
+/// names.
 std::unique_ptr<Workload> make_workload(const std::string& name,
                                         const WorkloadOptions& opts = {});
 

@@ -96,6 +96,24 @@ RunResult synth(std::uint64_t i) {
   f.classes.push_back(std::move(fc));
   r.forensics = std::move(f);
   r.forensics_digest = r.forensics.digest();
+  // A synthetic front-end conservation ledger (every counter nonzero and
+  // i-dependent, the conservation identity intact) so shard lines, merge,
+  // and the golden fixture cover the frontend block and its digest.
+  obs::FrontendResult fe;
+  fe.completed = 100 + i;
+  fe.tail_dropped = 5 + i % 3;
+  fe.admit_rejected = 2 + i % 2;
+  fe.shed = 3 + i % 4;
+  fe.in_flight = 1 + i % 2;
+  fe.accepted = fe.completed + fe.in_flight;
+  fe.arrivals = fe.accepted + fe.tail_dropped + fe.admit_rejected + fe.shed;
+  fe.conn_setups = 10 + i;
+  fe.keepalive_reuses = 90 + 2 * i;
+  fe.max_queue_depth = 7 + i;
+  fe.queue_wait_total = static_cast<sim::Duration>(123457 * (i + 1));
+  fe.queue_wait_max = static_cast<sim::Duration>(90001 + 11 * i);
+  r.frontend = fe;
+  r.frontend_digest = r.frontend.digest();
   return r;
 }
 

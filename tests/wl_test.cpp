@@ -223,6 +223,25 @@ TEST(Server, AbHasManyMoreThreadsThanCpus) {
   EXPECT_GT(ab.latency().percentile(99), sim::milliseconds(20));
 }
 
+TEST(Server, JbbSpinLockMakesLhpAttributionNonzeroUnderHog) {
+  // The jbb_cs_spin knob turns the critical section into a ticket spinlock
+  // whose waiters burn CPU instead of yielding; with a hog preempting the
+  // lock holder's vCPU the hypervisor must observe lock-holder preemption.
+  exp::ScenarioConfig cfg;
+  cfg.fg = "specjbb";
+  cfg.strategy = core::Strategy::kBaseline;
+  cfg.bg = "hog";
+  cfg.n_inter = 4;
+  cfg.server_duration = sim::milliseconds(400);
+  cfg.jbb_cs_len = sim::microseconds(300);
+  cfg.jbb_cs_every = 1;
+  cfg.jbb_cs_spin = true;
+  const exp::RunResult spin = exp::run_scenario(cfg);
+  ASSERT_TRUE(spin.finished);
+  EXPECT_GT(spin.throughput, 0.0);
+  EXPECT_GT(spin.lhp, 0u);
+}
+
 TEST(Histogram, PercentilesAndMean) {
   core::Histogram h;
   for (int i = 1; i <= 100; ++i) h.add(i);

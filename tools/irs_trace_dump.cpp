@@ -22,6 +22,14 @@
 //                    "why:" counter tracks in the timeline, plus per-class
 //                    cause-total tables and ranked root-cause tables for
 //                    every SLO-violating window (stdout; server foregrounds)
+//   --frontend       print the open-loop front-end conservation ledger
+//                    (arrivals/accepted/completed/dropped/shed, queue depth
+//                    and wait; stdout; --fg frontend only)
+//   --fe-arrival K   front-end arrival process: poisson|mmpp|diurnal
+//   --fe-rate HZ     front-end base arrival rate (requests/sim-second)
+//   --fe-overload K  front-end overload policy: drop|admit|shed
+//   --fe-queue-cap N front-end accept-queue bound
+//   --no-keepalive   front-end: re-establish the connection per request
 //   --csv            print the --slo window and --forensics tables as CSV
 //                    instead of fixed-width text
 //
@@ -124,6 +132,35 @@ void print_forensics(const obs::ForensicsResult& f, bool csv) {
   }
 }
 
+/// The front-end conservation ledger as one fixed-width (or CSV) table.
+void print_frontend(const obs::FrontendResult& f, bool csv) {
+  std::printf("frontend: %llu arrivals == %llu completed + %llu tail-drop + "
+              "%llu admit-reject + %llu shed + %llu in-flight\n",
+              static_cast<unsigned long long>(f.arrivals),
+              static_cast<unsigned long long>(f.completed),
+              static_cast<unsigned long long>(f.tail_dropped),
+              static_cast<unsigned long long>(f.admit_rejected),
+              static_cast<unsigned long long>(f.shed),
+              static_cast<unsigned long long>(f.in_flight));
+  exp::Table t({"metric", "value"});
+  const auto row = [&t](const char* k, std::uint64_t v) {
+    t.add_row({k, std::to_string(v)});
+  };
+  row("arrivals", f.arrivals);
+  row("accepted", f.accepted);
+  row("completed", f.completed);
+  row("tail_dropped", f.tail_dropped);
+  row("admit_rejected", f.admit_rejected);
+  row("shed", f.shed);
+  row("in_flight", f.in_flight);
+  row("conn_setups", f.conn_setups);
+  row("keepalive_reuses", f.keepalive_reuses);
+  row("max_queue_depth", f.max_queue_depth);
+  t.add_row({"queue_wait_total", exp::fmt_ms(f.queue_wait_total)});
+  t.add_row({"queue_wait_max", exp::fmt_ms(f.queue_wait_max)});
+  print_table(t, csv);
+}
+
 bool parse_strategy(const std::string& name, core::Strategy* out) {
   const core::Strategy all[] = {
       core::Strategy::kBaseline,     core::Strategy::kPle,
@@ -143,7 +180,9 @@ bool parse_strategy(const std::string& name, core::Strategy* out) {
                "usage: %s [--fg NAME] [--bg NAME] [--strategy NAME] "
                "[--inter N] [--seed N] [--capacity N] [--batch N] "
                "[--summary] [--guest-lanes] [--counters] [--attribution] "
-               "[--slo] [--forensics] [--csv] [out.json]\n",
+               "[--slo] [--forensics] [--frontend] [--fe-arrival K] "
+               "[--fe-rate HZ] [--fe-overload K] [--fe-queue-cap N] "
+               "[--no-keepalive] [--csv] [out.json]\n",
                argv0);
   std::exit(2);
 }
@@ -161,6 +200,7 @@ int main(int argc, char** argv) {
   bool attribution = false;
   bool slo = false;
   bool forensics = false;
+  bool frontend = false;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -200,6 +240,18 @@ int main(int argc, char** argv) {
       slo = true;
     } else if (arg == "--forensics") {
       forensics = true;
+    } else if (arg == "--frontend") {
+      frontend = true;
+    } else if (arg == "--fe-arrival") {
+      cfg.fe_arrival = next();
+    } else if (arg == "--fe-rate") {
+      cfg.fe_rate_hz = std::atof(next());
+    } else if (arg == "--fe-overload") {
+      cfg.fe_overload = next();
+    } else if (arg == "--fe-queue-cap") {
+      cfg.fe_queue_cap = std::atoi(next());
+    } else if (arg == "--no-keepalive") {
+      cfg.fe_keepalive = false;
     } else if (arg == "--csv") {
       csv = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -269,6 +321,15 @@ int main(int argc, char** argv) {
                    "foreground (--fg specjbb or --fg ab)\n");
     } else {
       print_forensics(dump.forensics, csv);
+    }
+  }
+  if (frontend) {
+    if (r.frontend.empty()) {
+      std::fprintf(stderr,
+                   "note: no front-end data — --frontend needs the open-loop "
+                   "foreground (--fg frontend)\n");
+    } else {
+      print_frontend(r.frontend, csv);
     }
   }
   if (attribution) {
