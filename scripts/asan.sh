@@ -10,7 +10,9 @@
 # state by trace ids and reads half-open spans after ring wrap, fuzzed
 # over randomized ring capacities), and frontend_asan (the bounded accept
 # FIFO's push/pop churn and lazily sized per-connection keepalive
-# counters under the overload fault matrix) — exactly the kind of
+# counters under the overload fault matrix), and cluster_asan (replica
+# gates are heap booleans captured by parked behaviors and migration
+# closures outlive the decision that made them) — exactly the kind of
 # ownership bug ASan catches and TSan does not.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -25,6 +25,17 @@ scripts/shard_roundtrip.sh
 ./build/tools/irs_trace_dump --fg frontend --strategy IRS \
     --frontend --fe-overload drop --csv > /dev/null
 
+# Cluster smoke: the two-host virtual datacenter end-to-end — a protected
+# "ab" server fixed on host 0 plus one migratable hog VM, admitted by the
+# random baseline and by the IRS-informed policy. The placement/migration
+# ledger table and the per-host timelines (trace.json + trace.host1.json)
+# must all render.
+for pol in random irs; do
+  ./build/tools/irs_trace_dump --cluster --cluster-policy "$pol" \
+      --fg ab --inter 2 --bg-vms 1 --csv \
+      build/cluster_smoke_trace.json > /dev/null
+done
+
 # Engine deep-queue bench smoke: every EventQueue backend variant (binary,
 # quad, wheel x tight/timer shapes, batching off/on) must run clean. The
 # old-vs-new ratios the perf trajectory tracks are recorded in

@@ -1,0 +1,76 @@
+#include "src/cluster/collector.h"
+
+namespace irs::cluster {
+
+Collector::Collector(sim::Engine& eng, core::HostNode& node,
+                     sim::Duration period, obs::ClusterHostLedger* ledger)
+    : eng_(eng), node_(node), period_(period), ledger_(ledger) {}
+
+void Collector::start() {
+  const auto n = static_cast<std::size_t>(node_.host().n_vms());
+  prev_.assign(n, Totals{});
+  latest_.assign(n, VmSample{});
+  // Baseline snapshot so the first window measures [t0, t0+period), not
+  // [time origin, t0+period).
+  for (std::size_t i = 0; i < n; ++i) prev_[i] = totals(static_cast<int>(i));
+  eng_.schedule(period_, [this]() { collect(); }, "cluster.collect");
+}
+
+Collector::Totals Collector::totals(int vm_i) const {
+  Totals t;
+  hv::Host& host = node_.host();
+  const sim::Time now = eng_.now();
+  for (const hv::Vcpu* v : host.vm(vm_i).vcpus()) {
+    t.run += v->time_running(now);
+    t.steal += v->time_runnable(now);
+    // LHP/LWP live on the vCPU's counter shard (shard vcpu_id + 1; shard 0
+    // is the host-global lane), which is what makes per-VM charge-back a
+    // plain sum over the VM's vCPUs.
+    t.lhp += host.counters().at(static_cast<std::size_t>(v->id()) + 1,
+                                obs::Cnt::kHvLhp);
+    t.lwp += host.counters().at(static_cast<std::size_t>(v->id()) + 1,
+                                obs::Cnt::kHvLwp);
+  }
+  return t;
+}
+
+void Collector::collect() {
+  const auto n = static_cast<std::size_t>(node_.host().n_vms());
+  sim::Duration host_steal = 0;
+  std::int64_t host_lhp = 0;
+  std::int64_t host_lwp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Totals t = totals(static_cast<int>(i));
+    const Totals& p = prev_[i];
+    VmSample& s = latest_[i];
+    s.run_delta = t.run - p.run;
+    s.steal_delta = t.steal - p.steal;
+    s.lhp_delta = t.lhp - p.lhp;
+    s.lwp_delta = t.lwp - p.lwp;
+    host_steal += s.steal_delta;
+    host_lhp += s.lhp_delta;
+    host_lwp += s.lwp_delta;
+    prev_[i] = t;
+  }
+  if (ledger_ != nullptr) {
+    ledger_->samples += 1;
+    ledger_->steal += host_steal;
+    ledger_->lhp += static_cast<std::uint64_t>(host_lhp);
+    ledger_->lwp += static_cast<std::uint64_t>(host_lwp);
+  }
+  eng_.schedule(period_, [this]() { collect(); }, "cluster.collect");
+}
+
+const Collector::VmSample& Collector::sample(hv::VmId vm) const {
+  const auto i = static_cast<std::size_t>(vm);
+  if (vm < 0 || i >= latest_.size()) return zero_;
+  return latest_[i];
+}
+
+sim::Duration Collector::host_run_delta() const {
+  sim::Duration total = 0;
+  for (const VmSample& s : latest_) total += s.run_delta;
+  return total;
+}
+
+}  // namespace irs::cluster

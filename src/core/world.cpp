@@ -4,233 +4,36 @@
 
 namespace irs::core {
 
-World::World(WorldConfig cfg) : cfg_(cfg), eng_(cfg_.queue) {
-  host_ = std::make_unique<hv::Host>(eng_, cfg_.hv, cfg_.n_pcpus);
-  if (cfg_.trace_capacity > 0) {
-    host_->trace().set_capacity(cfg_.trace_capacity);
-    eng_.set_trace(&host_->trace());
-  }
-  if (cfg_.trace_batch > 0) {
-    host_->trace_buffer().set_batch(cfg_.trace_batch);
-  }
-  switch (cfg_.strategy) {
-    case Strategy::kBaseline:
-      break;
-    case Strategy::kPle:
-      host_->enable_ple();
-      break;
-    case Strategy::kRelaxedCo:
-      host_->enable_relaxed_co();
-      break;
-    case Strategy::kIrs:
-      host_->enable_irs();
-      break;
-    case Strategy::kIrsPull:
-      // Pull-only variant (paper §6): no scheduler activations — the guest
-      // rescues "running" tasks from preempted vCPUs when a CPU idles.
-      break;
-    case Strategy::kDelayPreempt:
-      host_->enable_delay_preempt();
-      break;
+World::World(WorldConfig cfg) : eng_(cfg.queue) {
+  HostNodeConfig nc;
+  nc.name = "host";
+  nc.n_pcpus = cfg.n_pcpus;
+  nc.hv = cfg.hv;
+  nc.strategy = cfg.strategy;
+  nc.seed = cfg.seed;
+  nc.telemetry = cfg.telemetry();
+  // prefix_series stays off: single-host sampler series keep their
+  // pre-HostNode names ("hv/...", "guest/...") and digests.
+  node_ = std::make_unique<HostNode>(eng_, std::move(nc));
+  if (cfg.trace_capacity > 0) {
+    eng_.set_trace(&node_->host().trace());
   }
 }
 
 World::~World() = default;
 
-hv::VmId World::add_vm(const hv::VmConfig& vm_cfg, bool irs_capable,
-                       guest::GuestConfig guest_cfg) {
-  assert(!started_);
-  hv::Vm& vm = host_->add_vm(vm_cfg);
-  guest_cfg.irs_enabled = cfg_.strategy == Strategy::kIrs && irs_capable;
-  if (cfg_.strategy == Strategy::kIrsPull && irs_capable) {
-    guest_cfg.irs_pull = true;
-  }
-  // Paravirtual lock hints apply to every guest under the delay-preemption
-  // baseline (it is a guest-kernel feature, not per-VM opt-in).
-  if (cfg_.strategy == Strategy::kDelayPreempt) {
-    guest_cfg.paravirt_lock_hints = true;
-  }
-  Slot slot;
-  slot.vm = &vm;
-  hv::Host* host = host_.get();
-  hv::Vm* vmp = &vm;
-  slot.kernel = std::make_unique<guest::GuestKernel>(
-      eng_, guest_cfg, vm_cfg.n_vcpus, host_->hypercalls(vm),
-      [host, vmp](int cpu, bool spinning) {
-        host->note_spinning(*vmp, cpu, spinning);
-      },
-      cfg_.trace_capacity > 0 ? &host_->trace() : nullptr,
-      [host, vmp](int cpu, bool holds) {
-        host->note_lock_hint(*vmp, cpu, holds);
-      });
-  vm.set_guest(slot.kernel.get());
-  if (!vm.vcpus().empty()) {
-    // Guest trace records carry global vCPU ids so every timeline consumer
-    // shares one id space with the hv records.
-    slot.kernel->set_trace_vcpu_base(vm.vcpus().front()->id());
-  }
-  if (cfg_.trace_batch > 0) {
-    slot.kernel->trace_buf().set_batch(cfg_.trace_batch);
-  }
-  slot.kernel->seed(cfg_.seed * 1000003ULL +
-                    static_cast<std::uint64_t>(vm.id()) + 1);
-  slots_.push_back(std::move(slot));
-  return vm.id();
-}
-
-wl::Workload& World::attach(hv::VmId vm, std::unique_ptr<wl::Workload> w) {
-  assert(!started_);
-  auto& slot = slots_.at(static_cast<std::size_t>(vm));
-  slot.workloads.push_back(std::move(w));
-  return *slot.workloads.back();
-}
-
-void World::start() {
-  assert(!started_);
-  started_ = true;
-  t0_ = eng_.now();
-  host_->start();
-  for (auto& slot : slots_) {
-    for (auto& w : slot.workloads) w->instantiate(*slot.kernel);
-    slot.kernel->start();
-  }
-  if (cfg_.sample_period > 0) arm_sampler();
-}
-
-void World::arm_sampler() {
-  sampler_ = std::make_unique<obs::Sampler>(
-      eng_, cfg_.sample_period,
-      cfg_.sample_capacity > 0 ? cfg_.sample_capacity
-                               : obs::Sampler::kDefaultCapacity);
-  hv::Host* host = host_.get();
-  sim::Engine* eng = &eng_;
-  const obs::Counters* cnt = &host_->counters();
-
-  // Host-wide tracks.
-  sampler_->add_gauge("hv/runnable_vcpus", [host]() {
-    return static_cast<std::int64_t>(host->runnable_vcpus());
-  });
-  sampler_->add_rate("hv/steal_ns", [host, eng]() {
-    return static_cast<std::int64_t>(host->total_steal(eng->now()));
-  });
-  sampler_->add_counter("hv/preemptions", cnt, obs::Cnt::kHvPreemptions);
-  sampler_->add_counter("hv/lhp", cnt, obs::Cnt::kHvLhp);
-  sampler_->add_counter("hv/lwp", cnt, obs::Cnt::kHvLwp);
-  sampler_->add_counter("hv/sa_sent", cnt, obs::Cnt::kSaSent);
-  sampler_->add_counter("hv/sa_acked", cnt, obs::Cnt::kSaAcked);
-
-  // Per-vCPU tracks: steal rate from runstate accounting, SA deliveries
-  // from the vCPU's counter shard (shard vcpu_id + 1; shard 0 is global).
-  for (int vm_i = 0; vm_i < host_->n_vms(); ++vm_i) {
-    hv::Vm& vm = host_->vm(vm_i);
-    const auto& vs = vm.vcpus();
-    for (std::size_t idx = 0; idx < vs.size(); ++idx) {
-      hv::Vcpu* v = vs[idx];
-      const std::string base =
-          "hv/" + vm.name() + "/vcpu" + std::to_string(idx);
-      sampler_->add_rate(base + "/steal_ns", [v, eng]() {
-        return static_cast<std::int64_t>(v->time_runnable(eng->now()));
-      });
-      sampler_->add_counter(base + "/sa_sent", cnt, obs::Cnt::kSaSent,
-                            v->id() + 1);
-    }
-  }
-
-  // Per-VM guest run-queue depth.
-  for (auto& slot : slots_) {
-    guest::GuestKernel* k = slot.kernel.get();
-    sampler_->add_gauge("guest/" + slot.vm->name() + "/runnable_tasks",
-                        [k]() {
-                          return static_cast<std::int64_t>(k->runnable_tasks());
-                        });
-  }
-  sampler_->start();
-}
-
-bool World::workloads_finished(const Slot& s) const {
-  if (s.workloads.empty()) return true;
-  for (const auto& w : s.workloads) {
-    if (!w->finished()) return false;
-  }
-  return true;
-}
-
 bool World::run_until_finished(hv::VmId vm, sim::Duration timeout) {
-  assert(started_);
-  const Slot& slot = slots_.at(static_cast<std::size_t>(vm));
+  assert(node_->started());
   const sim::Time deadline = eng_.now() + timeout;
   eng_.run_while([&]() {
-    return !workloads_finished(slot) && eng_.now() < deadline;
+    return !node_->workloads_finished(vm) && eng_.now() < deadline;
   });
-  return workloads_finished(slot);
+  return node_->workloads_finished(vm);
 }
 
 void World::run_for(sim::Duration d) {
-  assert(started_);
+  assert(node_->started());
   eng_.run_until(eng_.now() + d);
-}
-
-sim::Duration World::fair_share(const Slot& s, sim::Duration elapsed) const {
-  // Pinned topology: each vCPU is entitled to an equal split of its pCPU
-  // among the vCPUs pinned there. Unpinned: weight-proportional host share
-  // capped by the VM's own parallelism.
-  bool all_pinned = true;
-  for (const hv::Vcpu* v : s.vm->vcpus()) {
-    if (v->affinity().size() != 1) all_pinned = false;
-  }
-  if (all_pinned) {
-    // Count how many vCPUs (of any VM) are pinned to each pCPU.
-    std::vector<int> pinned(static_cast<std::size_t>(host_->n_pcpus()), 0);
-    for (int vm_i = 0; vm_i < host_->n_vms(); ++vm_i) {
-      for (const hv::Vcpu* v : host_->vm(vm_i).vcpus()) {
-        if (v->affinity().size() == 1) {
-          ++pinned[static_cast<std::size_t>(v->affinity()[0])];
-        }
-      }
-    }
-    sim::Duration share = 0;
-    for (const hv::Vcpu* v : s.vm->vcpus()) {
-      const int n = pinned[static_cast<std::size_t>(v->affinity()[0])];
-      share += elapsed / std::max(1, n);
-    }
-    return share;
-  }
-  std::int64_t total_weight = 0;
-  for (int vm_i = 0; vm_i < host_->n_vms(); ++vm_i) {
-    total_weight += host_->vm(vm_i).weight();
-  }
-  const double host_capacity =
-      static_cast<double>(elapsed) * host_->n_pcpus();
-  double share = host_capacity * s.vm->weight() /
-                 static_cast<double>(std::max<std::int64_t>(1, total_weight));
-  const double cap = static_cast<double>(elapsed) * s.vm->n_vcpus();
-  if (share > cap) share = cap;
-  return static_cast<sim::Duration>(share);
-}
-
-VmMetrics World::vm_metrics(hv::VmId vm) const {
-  const Slot& slot = slots_.at(static_cast<std::size_t>(vm));
-  VmMetrics m;
-  m.vm_name = slot.vm->name();
-  m.elapsed = eng_.now() - t0_;
-  for (const hv::Vcpu* v : slot.vm->vcpus()) {
-    m.cpu_time += v->time_running(eng_.now());
-    m.steal_time += v->time_runnable(eng_.now());
-  }
-  m.fair_share = fair_share(slot, m.elapsed);
-  for (const auto& w : slot.workloads) {
-    m.useful_compute += w->useful_compute();
-    m.progress += w->progress();
-  }
-  m.workload_finished = workloads_finished(slot);
-  if (m.workload_finished && !slot.workloads.empty()) {
-    sim::Time end = 0;
-    for (const auto& w : slot.workloads) {
-      end = std::max(end, w->makespan_end());
-    }
-    m.makespan = end - t0_;
-  }
-  return m;
 }
 
 }  // namespace irs::core

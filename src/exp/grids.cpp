@@ -171,6 +171,28 @@ void fig11(Grid& g) {
   }
 }
 
+/// Cluster figure: the two-host virtual datacenter. A protected "ab"
+/// server fixed on host 0 and 1..4 migratable two-vCPU hog VMs admitted by
+/// each placement policy; compares the foreground tail (lat_p999_ns)
+/// across random / first-fit / IRS-informed placement, with Baseline and
+/// IRS per-host scheduling as the inner arms.
+void fig_cluster(Grid& g, bool fast) {
+  const int max_hogs = fast ? 2 : 4;
+  for (const char* pol : {"random", "firstfit", "irs"}) {
+    for (int n = 1; n <= max_hogs; ++n) {
+      for (const auto s : {core::Strategy::kBaseline, core::Strategy::kIrs}) {
+        PanelOptions o;
+        ScenarioConfig cfg = panel_cfg("ab", s, 2, o);
+        cfg.server_duration = sim::seconds(2);
+        cfg.n_bg_vms = n;
+        cfg.cluster.n_hosts = 2;
+        cfg.cluster.policy = pol;
+        g.add(cfg);
+      }
+    }
+  }
+}
+
 void smoke(Grid& g) {
   // Tiny sampler-armed grid for CI round-trips: 2 apps x {baseline, IRS}
   // x 2 interference levels, scaled way down. Sampling is on so digests
@@ -194,7 +216,7 @@ std::vector<std::string> figure_grid_names() {
   return {"fig02",  "fig05",  "fig05a", "fig05b", "fig05c", "fig06",
           "fig06a", "fig06b", "fig06c", "fig07",  "fig07a", "fig07b",
           "fig08",  "fig08_open",        "fig09",  "fig09a", "fig09b",
-          "fig10",  "fig11",  "fig12",  "fig13",  "smoke"};
+          "fig10",  "fig11",  "fig12",  "fig13",  "fig_cluster", "smoke"};
 }
 
 std::vector<ScenarioConfig> figure_grid(const std::string& name,
@@ -249,6 +271,8 @@ std::vector<ScenarioConfig> figure_grid(const std::string& name,
     o.pinned = false;
     o.inter_levels = {4};
     g.strategy_panel(trim_apps(wl::parsec_names(), fast), o);
+  } else if (name == "fig_cluster") {
+    fig_cluster(g, fast);
   } else if (name == "smoke") {
     smoke(g);
   } else {

@@ -103,6 +103,7 @@ void result_json_fields(obs::JsonWriter& w, const RunResult& r) {
   w.field("throughput", r.throughput);
   w.field("lat_mean_ns", static_cast<std::int64_t>(r.lat_mean));
   w.field("lat_p99_ns", static_cast<std::int64_t>(r.lat_p99));
+  w.field("lat_p999_ns", static_cast<std::int64_t>(r.lat_p999));
   w.field("lhp", r.lhp);
   w.field("lwp", r.lwp);
   w.field("irs_migrations", r.irs_migrations);
@@ -126,6 +127,11 @@ void result_json_fields(obs::JsonWriter& w, const RunResult& r) {
   if (!r.frontend.empty()) {
     w.key("frontend");
     obs::frontend_json(w, r.frontend);
+  }
+  w.field("cluster_digest", r.cluster_digest);
+  if (!r.cluster.empty()) {
+    w.key("cluster");
+    obs::cluster_json(w, r.cluster);
   }
 }
 
@@ -200,6 +206,11 @@ bool result_from_value(const obs::JsonValue& v, RunResult* r,
   if (!read_field(v, "throughput", &out.throughput, err)) return false;
   if (!read_duration(v, "lat_mean_ns", &out.lat_mean, err)) return false;
   if (!read_duration(v, "lat_p99_ns", &out.lat_p99, err)) return false;
+  // Absent in pre-cluster captures (like forensics/frontend below).
+  if (v.find("lat_p999_ns") != nullptr &&
+      !read_duration(v, "lat_p999_ns", &out.lat_p999, err)) {
+    return false;
+  }
   if (!read_field(v, "lhp", &out.lhp, err)) return false;
   if (!read_field(v, "lwp", &out.lwp, err)) return false;
   if (!read_field(v, "irs_migrations", &out.irs_migrations, err)) return false;
@@ -232,6 +243,13 @@ bool result_from_value(const obs::JsonValue& v, RunResult* r,
   }
   if (const obs::JsonValue* fe = v.find("frontend")) {
     if (!obs::frontend_from_value(*fe, &out.frontend, err)) return false;
+  }
+  if (v.find("cluster_digest") != nullptr &&
+      !read_field(v, "cluster_digest", &out.cluster_digest, err)) {
+    return false;
+  }
+  if (const obs::JsonValue* cl = v.find("cluster")) {
+    if (!obs::cluster_from_value(*cl, &out.cluster, err)) return false;
   }
   *r = out;
   return true;

@@ -1,7 +1,10 @@
 #include "src/exp/runner.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
+#include "src/cluster/cluster.h"
 #include "src/exp/sweep.h"
 #include "src/wl/frontend.h"
 #include "src/wl/registry.h"
@@ -18,40 +21,105 @@ std::vector<hv::PcpuId> identity_pins(int n) {
   return pins;
 }
 
-}  // namespace
-
-bool results_identical(const RunResult& a, const RunResult& b) {
-  return a.finished == b.finished && a.fg_makespan == b.fg_makespan &&
-         a.fg_util_vs_fair == b.fg_util_vs_fair &&
-         a.fg_efficiency == b.fg_efficiency &&
-         a.bg_progress_rate == b.bg_progress_rate &&
-         a.throughput == b.throughput && a.lat_mean == b.lat_mean &&
-         a.lat_p99 == b.lat_p99 && a.lhp == b.lhp && a.lwp == b.lwp &&
-         a.irs_migrations == b.irs_migrations && a.sa_sent == b.sa_sent &&
-         a.sa_acked == b.sa_acked && a.sa_delay_avg == b.sa_delay_avg &&
-         a.sampler_digest == b.sampler_digest &&
-         a.trace_dropped == b.trace_dropped &&
-         a.trace_total_recorded == b.trace_total_recorded &&
-         a.slo == b.slo && a.slo_digest == b.slo_digest &&
-         a.forensics == b.forensics &&
-         a.forensics_digest == b.forensics_digest &&
-         a.frontend == b.frontend && a.frontend_digest == b.frontend_digest;
+/// Foreground workload options shared by the single-host and cluster paths.
+wl::WorkloadOptions fg_options(const ScenarioConfig& cfg) {
+  wl::WorkloadOptions fg_opts;
+  fg_opts.n_threads = cfg.fg_threads;
+  fg_opts.npb_spinning = cfg.npb_spinning;
+  fg_opts.work_scale = cfg.work_scale;
+  fg_opts.server_duration = cfg.server_duration;
+  fg_opts.jbb_cs_len = cfg.jbb_cs_len;
+  fg_opts.jbb_cs_every = cfg.jbb_cs_every;
+  fg_opts.jbb_cs_spin = cfg.jbb_cs_spin;
+  fg_opts.fe_arrival = cfg.fe_arrival;
+  fg_opts.fe_rate_hz = cfg.fe_rate_hz;
+  fg_opts.fe_overload = cfg.fe_overload;
+  fg_opts.fe_queue_cap = cfg.fe_queue_cap;
+  fg_opts.fe_keepalive = cfg.fe_keepalive;
+  return fg_opts;
 }
 
-RunResult run_scenario(const ScenarioConfig& cfg) {
-  return run_scenario(cfg, nullptr);
+/// Windowed SLO tracking (server workloads; passive, so the simulation is
+/// unperturbed). slo_window < 0 disables; 0 means the 30 ms default.
+void enable_slo_if_server(const ScenarioConfig& cfg, wl::Workload& fg_wl) {
+  if (cfg.slo_window < 0) return;
+  const sim::Duration w =
+      cfg.slo_window > 0 ? cfg.slo_window : obs::SloTracker::kDefaultWindow;
+  if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
+    jbb->enable_slo(w);
+  } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
+    ab->enable_slo(w);
+  } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
+    fe->enable_slo(w);
+  }
 }
 
-RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
+/// Server metrics if the foreground was a server workload: throughput, the
+/// latency tail (p99 and the exact p999 fig_cluster compares), the SLO
+/// capture, and — front-end only — the conservation ledger.
+void extract_server_metrics(wl::Workload& fg_wl, sim::Time now, RunResult* r) {
+  if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
+    r->throughput = jbb->throughput();
+    r->lat_mean = jbb->latency().mean();
+    r->lat_p99 = jbb->latency().percentile(99.0);
+    r->lat_p999 = jbb->latency().percentile(99.9);
+    r->slo = jbb->slo_result(now);
+  } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
+    r->throughput = ab->throughput();
+    r->lat_mean = ab->latency().mean();
+    r->lat_p99 = ab->latency().percentile(99.0);
+    r->lat_p999 = ab->latency().percentile(99.9);
+    r->slo = ab->slo_result(now);
+  } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
+    r->throughput = fe->throughput();
+    r->lat_mean = fe->latency().mean();
+    r->lat_p99 = fe->latency().percentile(99.0);
+    r->lat_p999 = fe->latency().percentile(99.9);
+    r->slo = fe->slo_result(now);
+    r->frontend = fe->frontend_result();
+  }
+  r->slo_digest = r->slo.digest();
+  r->frontend_digest = r->frontend.digest();
+}
+
+/// Fill a TraceDump from one host node (cluster path; the single-host path
+/// keeps its own fill because forensics interleaves request spans there).
+void fill_node_dump(core::HostNode& node, const std::string& title,
+                    int n_pcpus, TraceDump* dump) {
+  sim::Trace& trace = node.host().trace();
+  dump->records = trace.snapshot();  // flushes all staging buffers
+  obs::TraceMeta meta;
+  meta.title = title;
+  meta.n_pcpus = n_pcpus;
+  for (int vm_i = 0; vm_i < node.host().n_vms(); ++vm_i) {
+    const hv::Vm& vm = node.host().vm(vm_i);
+    int idx = 0;
+    for (const hv::Vcpu* v : vm.vcpus()) {
+      meta.vcpus.push_back(obs::VcpuInfo{v->id(), vm.name(), idx++});
+    }
+    guest::GuestKernel& k = node.kernel(vm_i);
+    for (std::size_t t = 0; t < k.n_tasks(); ++t) {
+      meta.tasks.push_back(
+          obs::TaskInfo{k.task(t).id(), vm.name(), k.task(t).name()});
+    }
+  }
+  meta.start = node.started_at();
+  meta.end = node.engine().now();
+  meta.dropped = trace.dropped();
+  meta.total_recorded = trace.total_recorded();
+  dump->meta = std::move(meta);
+  if (obs::Sampler* smp = node.sampler()) dump->series = smp->dump();
+}
+
+/// The classic single-host run (cfg.cluster.n_hosts < 2).
+RunResult run_single(const ScenarioConfig& cfg, const RunCapture& capture) {
+  TraceDump* dump = capture.dump;
   core::WorldConfig wc;
   wc.n_pcpus = cfg.n_pcpus;
   wc.strategy = cfg.strategy;
   wc.seed = cfg.seed;
   wc.hv = cfg.hv;
-  wc.trace_capacity = cfg.trace_capacity;
-  wc.trace_batch = cfg.trace_batch;
-  wc.sample_period = cfg.sample_period;
-  wc.sample_capacity = cfg.sample_capacity;
+  wc.telemetry() = cfg.telemetry();
   wc.queue = cfg.queue;
   if (dump != nullptr && wc.trace_capacity == 0) wc.trace_capacity = 1 << 16;
   // Forensics replays the scheduler trace around every request span, so it
@@ -70,34 +138,10 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
   if (cfg.pinned) fg_vm.pin_map = identity_pins(cfg.n_vcpus);
   const hv::VmId fg = world.add_vm(fg_vm, /*irs_capable=*/true, cfg.fg_guest);
 
-  wl::WorkloadOptions fg_opts;
-  fg_opts.n_threads = cfg.fg_threads;
-  fg_opts.npb_spinning = cfg.npb_spinning;
-  fg_opts.work_scale = cfg.work_scale;
-  fg_opts.server_duration = cfg.server_duration;
-  fg_opts.jbb_cs_len = cfg.jbb_cs_len;
-  fg_opts.jbb_cs_every = cfg.jbb_cs_every;
-  fg_opts.jbb_cs_spin = cfg.jbb_cs_spin;
-  fg_opts.fe_arrival = cfg.fe_arrival;
-  fg_opts.fe_rate_hz = cfg.fe_rate_hz;
-  fg_opts.fe_overload = cfg.fe_overload;
-  fg_opts.fe_queue_cap = cfg.fe_queue_cap;
-  fg_opts.fe_keepalive = cfg.fe_keepalive;
-  wl::Workload& fg_wl = world.attach(fg, wl::make_workload(cfg.fg, fg_opts));
+  wl::Workload& fg_wl =
+      world.attach(fg, wl::make_workload(cfg.fg, fg_options(cfg)));
 
-  // Windowed SLO tracking (server workloads; passive, so the simulation is
-  // unperturbed). slo_window < 0 disables; 0 means the 30 ms default.
-  if (cfg.slo_window >= 0) {
-    const sim::Duration w =
-        cfg.slo_window > 0 ? cfg.slo_window : obs::SloTracker::kDefaultWindow;
-    if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
-      jbb->enable_slo(w);
-    } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
-      ab->enable_slo(w);
-    } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
-      fe->enable_slo(w);
-    }
-  }
+  enable_slo_if_server(cfg, fg_wl);
   if (cfg.forensics) {
     if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
       jbb->enable_request_spans();
@@ -144,26 +188,7 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
     r.bg_progress_rate = rate;
   }
 
-  // Server metrics if the foreground was a server workload.
-  if (auto* jbb = dynamic_cast<wl::JbbWorkload*>(&fg_wl)) {
-    r.throughput = jbb->throughput();
-    r.lat_mean = jbb->latency().mean();
-    r.lat_p99 = jbb->latency().percentile(99.0);
-    r.slo = jbb->slo_result(world.engine().now());
-  } else if (auto* ab = dynamic_cast<wl::AbWorkload*>(&fg_wl)) {
-    r.throughput = ab->throughput();
-    r.lat_mean = ab->latency().mean();
-    r.lat_p99 = ab->latency().percentile(99.0);
-    r.slo = ab->slo_result(world.engine().now());
-  } else if (auto* fe = dynamic_cast<wl::FrontendWorkload*>(&fg_wl)) {
-    r.throughput = fe->throughput();
-    r.lat_mean = fe->latency().mean();
-    r.lat_p99 = fe->latency().percentile(99.0);
-    r.slo = fe->slo_result(world.engine().now());
-    r.frontend = fe->frontend_result();
-  }
-  r.slo_digest = r.slo.digest();
-  r.frontend_digest = r.frontend.digest();
+  extract_server_metrics(fg_wl, world.engine().now(), &r);
 
   const hv::SchedStats& ss = world.host().sched_stats();
   r.lhp = ss.lhp_events;
@@ -242,6 +267,154 @@ RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
     }
   }
   return r;
+}
+
+/// The cluster run (cfg.cluster.n_hosts >= 2): the foreground VM fixed on
+/// host 0 and marked protected, every interfering VM a migratable gated-hog
+/// VM the placement policy admits. Forensics is a single-host feature and
+/// is ignored here; everything else folds across hosts (counters add,
+/// sampler digests XOR).
+RunResult run_cluster(const ScenarioConfig& cfg, const RunCapture& capture) {
+  cluster::ClusterConfig cc;
+  cc.n_hosts = cfg.cluster.n_hosts;
+  cc.n_pcpus = cfg.n_pcpus;
+  cc.hv = cfg.hv;
+  cc.strategy = cfg.strategy;
+  cc.seed = cfg.seed;
+  cc.telemetry = cfg.telemetry();
+  cc.queue = cfg.queue;
+  if (!cluster::policy_from_name(cfg.cluster.policy, &cc.policy)) {
+    throw std::invalid_argument("run_scenario: unknown cluster policy '" +
+                                cfg.cluster.policy +
+                                "' (want random|firstfit|irs)");
+  }
+  cc.collect_period = cfg.cluster.collect_period;
+  cc.decide_period = cfg.cluster.decide_period;
+  cc.migration.downtime = cfg.cluster.migration_downtime;
+  cc.migration.warmup_debt = cfg.cluster.warmup_debt;
+  cc.burn_frac = cfg.cluster.burn_frac;
+  cc.cooldown = cfg.cluster.cooldown;
+  const bool want_dump =
+      capture.dump != nullptr || capture.host_dumps != nullptr;
+  if (want_dump && cc.telemetry.trace_capacity == 0) {
+    cc.telemetry.trace_capacity = 1 << 16;
+  }
+  if (want_dump && cc.telemetry.sample_period == 0) {
+    cc.telemetry.sample_period = obs::Sampler::kDefaultPeriod;
+  }
+  cluster::Cluster cl(cc);
+
+  // Foreground VM: fixed on host 0 and protected — the kIrs policy defends
+  // its SLO budget by evicting noisy co-tenants from host 0.
+  hv::VmConfig fg_vm;
+  fg_vm.name = "fg";
+  fg_vm.n_vcpus = cfg.n_vcpus;
+  if (cfg.pinned) fg_vm.pin_map = identity_pins(cfg.n_vcpus);
+  const cluster::CvmId fg =
+      cl.add_vm(0, fg_vm, /*irs_capable=*/true, cfg.fg_guest);
+  cl.set_protected(fg);
+  wl::Workload& fg_wl =
+      cl.attach(fg, wl::make_workload(cfg.fg, fg_options(cfg)));
+  enable_slo_if_server(cfg, fg_wl);
+
+  // Interference: n_bg_vms migratable hog VMs, n_inter vCPUs/hogs each.
+  if (!cfg.bg.empty() && cfg.n_inter > 0) {
+    for (int i = 0; i < cfg.n_bg_vms; ++i) {
+      cl.add_migratable_hog("bg" + std::to_string(i), cfg.n_inter,
+                            cfg.n_inter);
+    }
+  }
+
+  cl.start();
+  RunResult r;
+  r.finished = cl.run_until_finished(fg, cfg.timeout);
+
+  const core::VmMetrics fgm = cl.vm_metrics(fg);
+  r.fg_makespan = fgm.makespan >= 0 ? fgm.makespan : fgm.elapsed;
+  r.fg_util_vs_fair = fgm.util_vs_fair();
+  r.fg_efficiency = fgm.efficiency_vs_fair();
+  // bg_progress_rate stays 0: hogs report no work units (same as the
+  // single-host hog runs).
+
+  extract_server_metrics(fg_wl, cl.engine().now(), &r);
+
+  r.irs_migrations = cl.kernel(fg).stats().irs_migrations;
+  std::uint64_t sa_completed = 0;
+  sim::Duration sa_delay_total = 0;
+  for (int h = 0; h < cl.n_hosts(); ++h) {
+    core::HostNode& node = cl.node(h);
+    const hv::SchedStats& ss = node.host().sched_stats();
+    r.lhp += ss.lhp_events;
+    r.lwp += ss.lwp_events;
+    const hv::StrategyStats& st = node.host().strategy_stats();
+    r.sa_sent += st.sa_sent;
+    r.sa_acked += st.sa_acked;
+    sa_completed += st.sa_acked + st.sa_forced;
+    sa_delay_total += st.sa_delay_total;
+    if (obs::Sampler* smp = node.sampler()) {
+      r.sampler_digest ^= smp->digest();
+    }
+    sim::Trace& trace = node.host().trace();
+    if (trace.enabled()) trace.flush_buffers();
+    r.trace_dropped += trace.dropped();
+    r.trace_total_recorded += trace.total_recorded();
+  }
+  r.sa_delay_avg =
+      sa_completed > 0
+          ? sa_delay_total / static_cast<sim::Duration>(sa_completed)
+          : 0;
+
+  r.cluster = cl.result();
+  r.cluster_digest = r.cluster.digest();
+
+  if (want_dump) {
+    const std::string title =
+        cfg.fg + "+hog [" + core::strategy_name(cfg.strategy) + ", " +
+        cluster::policy_name(cc.policy) + "]";
+    const auto n = static_cast<std::size_t>(cl.n_hosts());
+    if (capture.host_dumps != nullptr) {
+      capture.host_dumps->assign(n, TraceDump{});
+      for (std::size_t h = 0; h < n; ++h) {
+        core::HostNode& node = cl.node(static_cast<int>(h));
+        fill_node_dump(node, title + " " + node.name(), cfg.n_pcpus,
+                       &(*capture.host_dumps)[h]);
+      }
+      (*capture.host_dumps)[0].slo = r.slo;
+      if (capture.dump != nullptr) *capture.dump = (*capture.host_dumps)[0];
+    } else if (capture.dump != nullptr) {
+      fill_node_dump(cl.node(0), title + " " + cl.node(0).name(),
+                     cfg.n_pcpus, capture.dump);
+      capture.dump->slo = r.slo;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+bool results_identical(const RunResult& a, const RunResult& b) {
+  return a.finished == b.finished && a.fg_makespan == b.fg_makespan &&
+         a.fg_util_vs_fair == b.fg_util_vs_fair &&
+         a.fg_efficiency == b.fg_efficiency &&
+         a.bg_progress_rate == b.bg_progress_rate &&
+         a.throughput == b.throughput && a.lat_mean == b.lat_mean &&
+         a.lat_p99 == b.lat_p99 && a.lat_p999 == b.lat_p999 &&
+         a.lhp == b.lhp && a.lwp == b.lwp &&
+         a.irs_migrations == b.irs_migrations && a.sa_sent == b.sa_sent &&
+         a.sa_acked == b.sa_acked && a.sa_delay_avg == b.sa_delay_avg &&
+         a.sampler_digest == b.sampler_digest &&
+         a.trace_dropped == b.trace_dropped &&
+         a.trace_total_recorded == b.trace_total_recorded &&
+         a.slo == b.slo && a.slo_digest == b.slo_digest &&
+         a.forensics == b.forensics &&
+         a.forensics_digest == b.forensics_digest &&
+         a.frontend == b.frontend && a.frontend_digest == b.frontend_digest &&
+         a.cluster == b.cluster && a.cluster_digest == b.cluster_digest;
+}
+
+RunResult run_scenario(const ScenarioConfig& cfg, const RunCapture& capture) {
+  if (cfg.cluster.n_hosts >= 2) return run_cluster(cfg, capture);
+  return run_single(cfg, capture);
 }
 
 RunResult run_averaged(ScenarioConfig cfg, int n_seeds) {

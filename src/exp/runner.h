@@ -10,14 +10,43 @@
 #include "src/core/strategy.h"
 #include "src/core/world.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/cluster_stats.h"
 #include "src/obs/forensics.h"
 #include "src/obs/frontend_stats.h"
 #include "src/obs/slo.h"
+#include "src/obs/telemetry.h"
 
 namespace irs::exp {
 
+/// Cluster sub-config of a scenario: n_hosts >= 2 switches the runner from
+/// the classic single-host World to a cluster::Cluster of that many hosts —
+/// the foreground VM fixed on host 0, each interfering VM (always gated
+/// hogs in cluster mode) a *migratable* logical VM the placement policy
+/// admits and the kIrs policy may live-migrate (see src/cluster/cluster.h).
+struct ClusterOptions {
+  /// 0 or 1 = classic single-host run; >= 2 = cluster run.
+  int n_hosts = 0;
+  /// Placement policy name: "random", "firstfit", or "irs".
+  std::string policy = "irs";
+  /// Per-host collector sampling cadence.
+  sim::Duration collect_period = sim::milliseconds(10);
+  /// Central scheduler decision cadence (irs policy only).
+  sim::Duration decide_period = sim::milliseconds(30);
+  /// Migration cost model: blackout + per-task cache warmup debt.
+  sim::Duration migration_downtime = sim::milliseconds(20);
+  sim::Duration warmup_debt = sim::microseconds(500);
+  /// Steal fraction of a collector window that counts as the protected VM
+  /// "burning budget" and triggers an eviction.
+  double burn_frac = 0.1;
+  /// Minimum spacing between migrations of one VM.
+  sim::Duration cooldown = sim::milliseconds(90);
+};
+
 /// One experimental condition (paper §5.1 "Experimental Settings").
-struct ScenarioConfig {
+/// Inherits the telemetry knobs (trace_capacity, trace_batch,
+/// sample_period, sample_capacity) from obs::TelemetryConfig — the one
+/// definition shared with WorldConfig and HostNodeConfig.
+struct ScenarioConfig : obs::TelemetryConfig {
   core::Strategy strategy = core::Strategy::kBaseline;
 
   /// Foreground workload (PARSEC/NPB name, "specjbb", "ab").
@@ -74,15 +103,9 @@ struct ScenarioConfig {
   /// Hypervisor tunables (e.g. SA ack cap sweeps).
   hv::HvConfig hv{};
 
-  /// >0 enables the trace ring for this run (see WorldConfig).
-  std::size_t trace_capacity = 0;
-  /// >0 overrides the trace staging-buffer batch size (0 = default).
-  std::size_t trace_batch = 0;
-  /// >0 arms the counter sampler on this simulated-time cadence; 0 keeps it
-  /// off for plain runs (the dump overload defaults it on).
-  sim::Duration sample_period = 0;
-  /// >0 overrides the per-series ring capacity (0 = sampler default).
-  std::size_t sample_capacity = 0;
+  /// Cluster topology (n_hosts >= 2 switches to the cluster runner).
+  ClusterOptions cluster;
+
   /// Windowed SLO tracking for server workloads (jbb/ab): 0 = on at the
   /// default 30 ms credit-window cadence, >0 = on at that window, <0 = off
   /// (the bench overhead gate's "raw counters only" arm). Tracking is
@@ -114,6 +137,9 @@ struct RunResult {
   double throughput = 0;
   sim::Duration lat_mean = 0;
   sim::Duration lat_p99 = 0;
+  /// Exact 99.9th percentile of request latency (server workloads only) —
+  /// the tail metric fig_cluster compares across placement policies.
+  sim::Duration lat_p999 = 0;
   /// Scheduler event counters:
   std::uint64_t lhp = 0;
   std::uint64_t lwp = 0;
@@ -143,6 +169,11 @@ struct RunResult {
   /// capture (counters add exactly, maxes take the max).
   obs::FrontendResult frontend;
   std::uint64_t frontend_digest = 0;
+  /// Cluster placement/migration ledger (empty unless cluster.n_hosts >= 2)
+  /// and its digest — folded through sweeps like the front-end ledger
+  /// (counters add exactly; see src/obs/cluster_stats.h).
+  obs::ClusterResult cluster;
+  std::uint64_t cluster_digest = 0;
 };
 
 /// A run's trace, captured for export: the snapshot (time-ordered, flushed)
@@ -164,13 +195,32 @@ struct TraceDump {
 /// trip through NDJSON.
 bool results_identical(const RunResult& a, const RunResult& b);
 
-/// Run one scenario.
-RunResult run_scenario(const ScenarioConfig& cfg);
+/// Capture options for run_scenario — the open-ended replacement for the
+/// old run_scenario(cfg) / run_scenario(cfg, TraceDump*) overload pair:
+/// new capture surfaces extend this struct instead of multiplying
+/// overloads. Any requested capture enables the trace ring (and sampler)
+/// at generous defaults when the config left them off.
+struct RunCapture {
+  /// Capture the run's trace: single-host runs fill it with the host's
+  /// timeline; cluster runs with host 0's.
+  TraceDump* dump = nullptr;
+  /// Cluster runs only: resized to n_hosts and filled with one TraceDump
+  /// per host (host 0's entry equals what *dump receives).
+  std::vector<TraceDump>* host_dumps = nullptr;
+};
 
-/// Run one scenario and capture its trace into `dump` (ignored when null).
-/// If cfg.trace_capacity is 0 a generous default capacity is used so the
-/// caller gets a usable timeline without tuning.
-RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump);
+/// Run one scenario, capturing whatever `capture` asks for.
+RunResult run_scenario(const ScenarioConfig& cfg, const RunCapture& capture);
+
+/// Back-compat wrapper: run with no capture.
+inline RunResult run_scenario(const ScenarioConfig& cfg) {
+  return run_scenario(cfg, RunCapture{});
+}
+
+/// Back-compat wrapper for the old dump overload (ignored when null).
+inline RunResult run_scenario(const ScenarioConfig& cfg, TraceDump* dump) {
+  return run_scenario(cfg, RunCapture{.dump = dump});
+}
 
 /// Average `n_seeds` runs whose seeds are derive_seed(cfg.seed, i) (the
 /// paper averages 5 runs). Runs execute on the parallel sweep pool (see

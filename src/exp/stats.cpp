@@ -121,6 +121,8 @@ constexpr MetricDef kMetrics[] = {
      [](const RunResult& r) { return static_cast<double>(r.lat_mean); }},
     {"lat_p99_ns",
      [](const RunResult& r) { return static_cast<double>(r.lat_p99); }},
+    {"lat_p999_ns",
+     [](const RunResult& r) { return static_cast<double>(r.lat_p999); }},
     {"lhp", [](const RunResult& r) { return static_cast<double>(r.lhp); }},
     {"lwp", [](const RunResult& r) { return static_cast<double>(r.lwp); }},
     {"irs_migrations",
@@ -157,6 +159,8 @@ void SweepStats::add(const RunResult& r) {
   obs::fold_forensics(forensics_, r.forensics);
   frontend_digest_xor_ ^= r.frontend_digest;
   obs::fold_frontend(frontend_, r.frontend);
+  cluster_digest_xor_ ^= r.cluster_digest;
+  obs::fold_cluster(cluster_, r.cluster);
 }
 
 void fold_slo(obs::SloResult& acc, const obs::SloResult& r) {
@@ -293,6 +297,14 @@ std::string sweep_stats_json(const SweepStats& s) {
     w.field("digest_xor", s.frontend_digest_xor());
     w.key("totals");
     obs::frontend_json(w, s.frontend());
+    w.end_object();
+  }
+  if (!s.cluster().empty()) {
+    w.key("cluster");
+    w.begin_object();
+    w.field("digest_xor", s.cluster_digest_xor());
+    w.key("totals");
+    obs::cluster_json(w, s.cluster());
     w.end_object();
   }
   w.end_object();

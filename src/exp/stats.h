@@ -120,6 +120,14 @@ class SweepStats {
     return frontend_digest_xor_;
   }
 
+  /// Sweep-wide cluster fold: every run's placement/migration ledger summed
+  /// exactly (see obs::fold_cluster). Empty when no run was a cluster run.
+  [[nodiscard]] const obs::ClusterResult& cluster() const { return cluster_; }
+  /// XOR of every run's cluster_digest (see slo_digest_xor).
+  [[nodiscard]] std::uint64_t cluster_digest_xor() const {
+    return cluster_digest_xor_;
+  }
+
  private:
   std::uint64_t runs_ = 0;
   std::uint64_t finished_ = 0;
@@ -130,6 +138,8 @@ class SweepStats {
   std::uint64_t forensics_digest_xor_ = 0;
   obs::FrontendResult frontend_;
   std::uint64_t frontend_digest_xor_ = 0;
+  obs::ClusterResult cluster_;
+  std::uint64_t cluster_digest_xor_ = 0;
 };
 
 /// Fold one run's SLO capture into `acc`: classes match by name, totals

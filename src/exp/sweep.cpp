@@ -166,7 +166,7 @@ RunResult average_results(const std::vector<RunResult>& rs) {
   RunResult acc;
   if (rs.empty()) return acc;
   double makespan = 0, util = 0, eff = 0, bg_rate = 0, thr = 0;
-  double lat_mean = 0, lat_p99 = 0, sa_delay = 0;
+  double lat_mean = 0, lat_p99 = 0, lat_p999 = 0, sa_delay = 0;
   for (const RunResult& r : rs) {
     acc.finished = acc.finished || r.finished;
     makespan += static_cast<double>(r.fg_makespan);
@@ -176,6 +176,7 @@ RunResult average_results(const std::vector<RunResult>& rs) {
     thr += r.throughput;
     lat_mean += static_cast<double>(r.lat_mean);
     lat_p99 += static_cast<double>(r.lat_p99);
+    lat_p999 += static_cast<double>(r.lat_p999);
     sa_delay += static_cast<double>(r.sa_delay_avg);
     acc.lhp += r.lhp;
     acc.lwp += r.lwp;
@@ -188,11 +189,13 @@ RunResult average_results(const std::vector<RunResult>& rs) {
     acc.slo_digest ^= r.slo_digest;
     acc.forensics_digest ^= r.forensics_digest;
     acc.frontend_digest ^= r.frontend_digest;
+    acc.cluster_digest ^= r.cluster_digest;
     acc.trace_dropped += r.trace_dropped;
     acc.trace_total_recorded += r.trace_total_recorded;
     fold_slo(acc.slo, r.slo);  // bucket-exact class fold (see exp/stats.h)
     obs::fold_forensics(acc.forensics, r.forensics);
     obs::fold_frontend(acc.frontend, r.frontend);
+    obs::fold_cluster(acc.cluster, r.cluster);
   }
   const double n = static_cast<double>(rs.size());
   acc.fg_makespan = static_cast<sim::Duration>(makespan / n);
@@ -202,6 +205,7 @@ RunResult average_results(const std::vector<RunResult>& rs) {
   acc.throughput = thr / n;
   acc.lat_mean = static_cast<sim::Duration>(lat_mean / n);
   acc.lat_p99 = static_cast<sim::Duration>(lat_p99 / n);
+  acc.lat_p999 = static_cast<sim::Duration>(lat_p999 / n);
   acc.sa_delay_avg = static_cast<sim::Duration>(sa_delay / n);
   acc.lhp /= rs.size();
   acc.lwp /= rs.size();

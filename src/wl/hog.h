@@ -20,4 +20,44 @@ class HogWorkload final : public Workload {
   sim::Duration burst_;
 };
 
+/// A hog whose tasks only burn CPU while `*gate` is true; otherwise they
+/// park off-CPU (Action::sleep) until woken. This is the replica half of
+/// cluster live migration: every host carries a replica of a migratable
+/// hog VM, and exactly one replica's gate is open at a time — closing the
+/// source gate parks its tasks at the next burst boundary (the pre-copy
+/// brownout), opening the destination gate after the modeled downtime and
+/// waking the tasks resumes execution there (see src/cluster/cluster.h).
+class GatedHogBehavior final : public guest::Behavior {
+ public:
+  GatedHogBehavior(const bool* gate, sim::Duration burst, sim::Duration park)
+      : gate_(gate), burst_(burst), park_(park) {}
+  guest::Action next(guest::Task& t, sim::Time now, sim::Rng& rng) override;
+
+ private:
+  const bool* gate_;
+  sim::Duration burst_;
+  sim::Duration park_;
+};
+
+class GatedHogWorkload final : public Workload {
+ public:
+  /// `gate` must outlive the workload (the cluster owns it). `park` bounds
+  /// how long an un-woken parked task stays asleep before re-checking the
+  /// gate; migration arrival wakes tasks explicitly, so it only needs to
+  /// exceed the run length.
+  GatedHogWorkload(int n_hogs, const bool* gate,
+                   sim::Duration burst = sim::milliseconds(1),
+                   sim::Duration park = sim::seconds(3600))
+      : Workload("cpu-hog-gated"), n_hogs_(n_hogs), gate_(gate),
+        burst_(burst), park_(park) {}
+
+  void instantiate(guest::GuestKernel& k) override;
+
+ private:
+  int n_hogs_;
+  const bool* gate_;
+  sim::Duration burst_;
+  sim::Duration park_;
+};
+
 }  // namespace irs::wl

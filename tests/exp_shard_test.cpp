@@ -45,6 +45,7 @@ RunResult synth(std::uint64_t i) {
   r.throughput = (i % 2) != 0 ? 1e6 / 7.0 : 0.0;
   r.lat_mean = static_cast<sim::Duration>(5000 * i);
   r.lat_p99 = static_cast<sim::Duration>(9000 * i + 1);
+  r.lat_p999 = static_cast<sim::Duration>(9990 * i + 3);
   r.lhp = 11 * i;
   r.lwp = 13 * i;
   r.irs_migrations = i;
@@ -114,6 +115,36 @@ RunResult synth(std::uint64_t i) {
   fe.queue_wait_max = static_cast<sim::Duration>(90001 + 11 * i);
   r.frontend = fe;
   r.frontend_digest = r.frontend.digest();
+  // A synthetic cluster placement ledger (every counter i-dependent, the
+  // conservation identities intact) so shard lines, merge, and the golden
+  // fixture cover the cluster block and its digest.
+  obs::ClusterResult cl;
+  cl.n_hosts = 2;
+  cl.policy = static_cast<std::uint32_t>(i % 3);
+  cl.migratable = 2 + i % 2;
+  cl.vms = cl.migratable + 1;
+  cl.decisions = 30 + i;
+  cl.migrations = i % 2;
+  cl.downtime_total = static_cast<sim::Duration>(20000000 * cl.migrations);
+  obs::ClusterHostLedger h0;
+  h0.placed = 1;
+  h0.migr_out = cl.migrations;
+  h0.active_end = h0.placed - h0.migr_out;
+  h0.samples = 300 + i;
+  h0.lhp = 17 * i;
+  h0.lwp = 19 * i;
+  h0.steal = static_cast<sim::Duration>(997 * (i + 1));
+  obs::ClusterHostLedger h1;
+  h1.placed = cl.vms - 1;
+  h1.migr_in = cl.migrations;
+  h1.active_end = h1.placed + h1.migr_in;
+  h1.samples = 300 + i;
+  h1.lhp = 23 * i;
+  h1.lwp = 29 * i;
+  h1.steal = static_cast<sim::Duration>(1009 * (i + 1));
+  cl.hosts = {h0, h1};
+  r.cluster = cl;
+  r.cluster_digest = r.cluster.digest();
   return r;
 }
 

@@ -8,6 +8,7 @@
 //   --bg NAME        interference; "" = run alone  (hog)
 //   --strategy NAME  Xen|PLE|Relaxed-Co|IRS|Delay-Preempt|IRS-Pull  (IRS)
 //   --inter N        #interfered vCPUs             (1)
+//   --bg-vms N       #interfering VMs              (1)
 //   --seed N         base seed                     (1)
 //   --capacity N     trace ring capacity           (65536)
 //   --batch N        staging-buffer batch size     (default)
@@ -30,6 +31,14 @@
 //   --fe-overload K  front-end overload policy: drop|admit|shed
 //   --fe-queue-cap N front-end accept-queue bound
 //   --no-keepalive   front-end: re-establish the connection per request
+//   --cluster        run the 2-host cluster scenario instead of one host:
+//                    the fg VM protected on host 0, each --bg VM a
+//                    migratable hog the placement policy admits; writes one
+//                    timeline per host (out.json, out.host1.json, ...) and
+//                    prints the placement/migration ledger (stdout)
+//   --cluster-hosts N   cluster size (implies --cluster; default 2)
+//   --cluster-policy K  placement policy: random|firstfit|irs (implies
+//                       --cluster; default irs)
 //   --csv            print the --slo window and --forensics tables as CSV
 //                    instead of fixed-width text
 //
@@ -47,6 +56,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/cluster/scheduler.h"
 #include "src/core/strategy.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
@@ -161,6 +171,41 @@ void print_frontend(const obs::FrontendResult& f, bool csv) {
   print_table(t, csv);
 }
 
+/// The cluster placement/migration ledger: run-wide counters plus one row
+/// per host (see src/obs/cluster_stats.h for the conservation identities).
+void print_cluster(const obs::ClusterResult& c, bool csv) {
+  std::printf("cluster: %u hosts, policy %s — %llu VMs (%llu migratable), "
+              "%llu decisions, %llu migrations (%.2fms downtime), %llu in "
+              "transit at end\n",
+              c.n_hosts,
+              cluster::policy_name(static_cast<cluster::Policy>(c.policy)),
+              static_cast<unsigned long long>(c.vms),
+              static_cast<unsigned long long>(c.migratable),
+              static_cast<unsigned long long>(c.decisions),
+              static_cast<unsigned long long>(c.migrations),
+              sim::to_ms(c.downtime_total),
+              static_cast<unsigned long long>(c.in_transit_end));
+  exp::Table t({"host", "placed", "migr_in", "migr_out", "active_end",
+                "samples", "lhp", "lwp", "steal_ms"});
+  for (std::size_t h = 0; h < c.hosts.size(); ++h) {
+    const obs::ClusterHostLedger& hl = c.hosts[h];
+    t.add_row({std::to_string(h), std::to_string(hl.placed),
+               std::to_string(hl.migr_in), std::to_string(hl.migr_out),
+               std::to_string(hl.active_end), std::to_string(hl.samples),
+               std::to_string(hl.lhp), std::to_string(hl.lwp),
+               exp::fmt_ms(hl.steal)});
+  }
+  print_table(t, csv);
+}
+
+/// Per-host output path: "trace.json" -> "trace.host1.json".
+std::string host_path(const std::string& base, std::size_t h) {
+  const std::string suffix = ".host" + std::to_string(h);
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos) return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 bool parse_strategy(const std::string& name, core::Strategy* out) {
   const core::Strategy all[] = {
       core::Strategy::kBaseline,     core::Strategy::kPle,
@@ -178,11 +223,13 @@ bool parse_strategy(const std::string& name, core::Strategy* out) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--fg NAME] [--bg NAME] [--strategy NAME] "
-               "[--inter N] [--seed N] [--capacity N] [--batch N] "
+               "[--inter N] [--bg-vms N] [--seed N] [--capacity N] "
+               "[--batch N] "
                "[--summary] [--guest-lanes] [--counters] [--attribution] "
                "[--slo] [--forensics] [--frontend] [--fe-arrival K] "
                "[--fe-rate HZ] [--fe-overload K] [--fe-queue-cap N] "
-               "[--no-keepalive] [--csv] [out.json]\n",
+               "[--no-keepalive] [--cluster] [--cluster-hosts N] "
+               "[--cluster-policy K] [--csv] [out.json]\n",
                argv0);
   std::exit(2);
 }
@@ -201,6 +248,7 @@ int main(int argc, char** argv) {
   bool slo = false;
   bool forensics = false;
   bool frontend = false;
+  bool cluster_mode = false;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -220,6 +268,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--inter") {
       cfg.n_inter = std::atoi(next());
+    } else if (arg == "--bg-vms") {
+      cfg.n_bg_vms = std::atoi(next());
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--capacity") {
@@ -252,6 +302,14 @@ int main(int argc, char** argv) {
       cfg.fe_queue_cap = std::atoi(next());
     } else if (arg == "--no-keepalive") {
       cfg.fe_keepalive = false;
+    } else if (arg == "--cluster") {
+      cluster_mode = true;
+    } else if (arg == "--cluster-hosts") {
+      cfg.cluster.n_hosts = std::atoi(next());
+      cluster_mode = true;
+    } else if (arg == "--cluster-policy") {
+      cfg.cluster.policy = next();
+      cluster_mode = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -261,9 +319,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  cfg.forensics = forensics;
+  cfg.forensics = forensics && !cluster_mode;
+  if (cluster_mode && cfg.cluster.n_hosts < 2) cfg.cluster.n_hosts = 2;
+
   exp::TraceDump dump;
-  const exp::RunResult r = exp::run_scenario(cfg, &dump);
+  std::vector<exp::TraceDump> host_dumps;
+  exp::RunCapture cap;
+  cap.dump = &dump;
+  if (cluster_mode) cap.host_dumps = &host_dumps;
+  const exp::RunResult r = exp::run_scenario(cfg, cap);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -284,6 +348,29 @@ int main(int argc, char** argv) {
   if (out.fail()) {
     std::fprintf(stderr, "error: write to %s failed\n", out_path.c_str());
     return 1;
+  }
+  // Cluster mode: one timeline per additional host (host 0 == out_path).
+  for (std::size_t h = 1; h < host_dumps.size(); ++h) {
+    const std::string path = host_path(out_path, h);
+    std::ofstream hout(path);
+    if (!hout) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   path.c_str());
+      return 1;
+    }
+    obs::ChromeTraceOptions hopt;
+    hopt.guest_lanes = guest_lanes;
+    if (counters) hopt.counters = &host_dumps[h].series;
+    hout << obs::chrome_trace_json(host_dumps[h].records, host_dumps[h].meta,
+                                   hopt);
+    hout.close();
+    if (hout.fail()) {
+      std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s: %zu records -> %s\n",
+                 host_dumps[h].meta.title.c_str(), host_dumps[h].records.size(),
+                 path.c_str());
   }
 
   if (print_summary) std::printf("%s\n", exp::result_json(r).c_str());
@@ -332,6 +419,7 @@ int main(int argc, char** argv) {
       print_frontend(r.frontend, csv);
     }
   }
+  if (cluster_mode) print_cluster(r.cluster, csv);
   if (attribution) {
     const obs::AttributionResult a = obs::attribute(dump.records, dump.meta);
     exp::print_attribution(std::cout, a);
